@@ -1,0 +1,42 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one table/figure of the paper at full evaluation
+scale (512 x 512 x 256), prints the paper-style rows, saves them under
+``benchmarks/results/`` and asserts the reproduction's *shape* criteria.
+pytest-benchmark times the regeneration itself (the tuning sweeps are the
+expensive part, exactly as in the paper's methodology).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_render():
+    """Persist an experiment's render for inspection and print it."""
+
+    def _save(result, filename: str) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (RESULTS_DIR / filename).write_text(text + "\n")
+        print()
+        print(text)
+        return text
+
+    return _save
+
+
+def fresh(func, *args, **kwargs):
+    """Run an experiment with a cold tuning cache (for honest timing)."""
+    from repro.harness import runner
+
+    def call():
+        runner._CACHE.clear()
+        return func(*args, **kwargs)
+
+    return call

@@ -1,0 +1,44 @@
+"""Ablation — shared-memory tile vs read-only cache (texture path).
+
+The design question behind section V-B's Holewinski comparison: is the
+shared tile worth its barriers and occupancy cost, or can the read-only
+cache do the staging?  On the simulator the answer reproduces the era's
+folklore: the texture path is competitive at low stencil orders (no
+barriers, no smem footprint) and falls behind as the per-point cache-load
+instruction count (4r+1) grows with the radius.
+"""
+
+from repro.harness.runner import tune_family
+
+from conftest import fresh
+
+
+def test_texture_vs_shared_tile(benchmark, save_render):
+    def run():
+        rows = []
+        for order in (2, 4, 8, 12):
+            tex = tune_family("texture", order, "gtx580")
+            fs = tune_family("inplane_fullslice", order, "gtx580")
+            rows.append((order, tex.best_mpoints, fs.best_mpoints))
+        return rows
+
+    rows = benchmark.pedantic(fresh(run), rounds=1, iterations=1, warmup_rounds=0)
+
+    class R:
+        def render(self):
+            lines = ["Ablation: read-only cache vs shared-memory tile (GTX580, tuned)"]
+            for order, tex, fs in rows:
+                lines.append(
+                    f"  order {order:2d}: texture {tex:9.1f}  "
+                    f"full-slice {fs:9.1f}  ratio {tex / fs:.2f}"
+                )
+            return "\n".join(lines)
+
+    save_render(R(), "ablation_texture.txt")
+
+    ratios = {order: tex / fs for order, tex, fs in rows}
+    # Competitive at order 2, clearly behind by order 12.
+    assert ratios[2] > 0.9
+    assert ratios[12] < 0.9
+    # Monotone decline with order (instruction pressure grows with r).
+    assert ratios[2] >= ratios[4] >= ratios[8] >= ratios[12]

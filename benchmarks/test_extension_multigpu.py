@@ -1,0 +1,65 @@
+"""Extension — multi-GPU slab decomposition scaling.
+
+The paper motivates stencil optimization with scaling simulations to
+larger problems; this bench produces the era's canonical curves on the
+simulator: strong scaling that saturates as the fixed per-step halo
+exchange overtakes the shrinking kernel time, and weak scaling that holds
+efficiency because per-GPU work stays constant.
+"""
+
+from repro.cluster import MultiGpuStencil, PCIE_GEN2_X16
+from repro.kernels.factory import make_kernel
+from repro.stencils.spec import symmetric
+
+GRID = (512, 512, 256)
+COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_multigpu_scaling(benchmark, save_render):
+    sim = MultiGpuStencil(
+        lambda: make_kernel("inplane_fullslice", symmetric(2), (64, 4, 4, 2)),
+        "gtx580",
+        link=PCIE_GEN2_X16,
+    )
+
+    def run():
+        return (
+            sim.strong_scaling(GRID, COUNTS),
+            sim.weak_scaling((512, 512, 64), COUNTS),
+        )
+
+    strong, weak = benchmark(run)
+
+    class R:
+        def render(self):
+            lines = ["Extension: multi-GPU slab decomposition (GTX580 x N, PCIe2 x16)"]
+            lines.append("  strong scaling (512x512x256):")
+            for p in strong:
+                lines.append(
+                    f"    {p.gpus:2d} GPUs: {p.mpoints_per_s:9.0f} MPt/s  "
+                    f"speedup {p.speedup:5.2f}  eff {p.efficiency:5.1%}  "
+                    f"(kernel {p.kernel_time_s*1e3:6.2f} ms, "
+                    f"exchange {p.exchange_time_s*1e3:6.2f} ms)"
+                )
+            lines.append("  weak scaling (512x512x64 per GPU):")
+            for p in weak:
+                lines.append(
+                    f"    {p.gpus:2d} GPUs: {p.mpoints_per_s:9.0f} MPt/s"
+                )
+            return "\n".join(lines)
+
+    save_render(R(), "extension_multigpu.txt")
+
+    speedups = [p.speedup for p in strong]
+    effs = [p.efficiency for p in strong]
+    # Strong scaling rises monotonically but with decaying efficiency —
+    # the exchange does not shrink with GPU count.
+    assert speedups == sorted(speedups)
+    assert effs[0] == max(effs)
+    assert effs[-1] < 0.9
+    # Weak scaling sustains most of the single-GPU per-device rate.
+    per_gpu = [p.mpoints_per_s / p.gpus for p in weak]
+    assert per_gpu[-1] > 0.7 * per_gpu[0]
+    # Exchange share grows with GPU count.
+    share = [p.exchange_time_s / p.step_time_s for p in strong[1:]]
+    assert share == sorted(share)

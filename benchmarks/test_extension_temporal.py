@@ -1,0 +1,68 @@
+"""Extension — temporal blocking (ghost zones) on top of the in-plane
+method.
+
+The paper's related work points at temporal blocking (Meng's ghost zones,
+Nguyen's 3.5-D) as the complementary axis; this bench regenerates the
+classic trade-off curve on the simulator:
+
+* fusing T = 2 sweeps beats sweep-at-a-time for a bandwidth-bound
+  low-order SP stencil;
+* the per-sweep gain shrinks (and eventually reverses) as T grows —
+  ghost loads grow with (tile + 2rT)^2 and the ghost pyramid inflates the
+  compute;
+* at high stencil order the whole scheme is worth less than at low order.
+"""
+
+from repro.errors import ResourceLimitError
+from repro.gpusim.device import get_device
+from repro.gpusim.executor import simulate
+from repro.kernels.config import BlockConfig
+from repro.kernels.temporal import TemporalInPlaneKernel
+from repro.stencils.spec import symmetric
+
+GRID = (512, 512, 256)
+BLOCK = BlockConfig(32, 8, 1, 2)
+
+
+def test_temporal_blocking_curve(benchmark, save_render):
+    dev = get_device("gtx580")
+
+    def run():
+        out = {}
+        for order in (2, 8):
+            for t in (1, 2, 3, 4):
+                plan = TemporalInPlaneKernel(
+                    symmetric(order), BLOCK, time_steps=t
+                )
+                try:
+                    out[(order, t)] = simulate(plan, dev, GRID).mpoints_per_s
+                except ResourceLimitError:
+                    # Ghost windows exceed shared memory: T is infeasible —
+                    # the hard capacity wall that bounds temporal fusion.
+                    out[(order, t)] = 0.0
+        return out
+
+    rates = benchmark(run)
+
+    class R:
+        def render(self):
+            lines = ["Extension: temporal blocking, effective MPt/s per logical sweep"]
+            for order in (2, 8):
+                row = "  ".join(
+                    f"T={t}:{rates[(order, t)]:9.1f}" for t in (1, 2, 3, 4)
+                )
+                lines.append(f"  order {order:2d}: {row}")
+            return "\n".join(lines)
+
+    save_render(R(), "extension_temporal.txt")
+
+    # T=2 wins for the bandwidth-bound order-2 stencil.
+    assert rates[(2, 2)] > rates[(2, 1)]
+    # Marginal gain shrinks with T (concave curve with an optimum).
+    g2 = rates[(2, 2)] / rates[(2, 1)]
+    g3 = rates[(2, 3)] / rates[(2, 2)]
+    g4 = rates[(2, 4)] / max(rates[(2, 3)], 1e-9)
+    assert g2 > g3 > g4
+    # High order benefits less from fusing (or cannot fuse at all: the
+    # per-slice ghost windows blow the shared-memory budget).
+    assert rates[(8, 3)] / rates[(8, 1)] < rates[(2, 3)] / rates[(2, 1)]

@@ -1,0 +1,40 @@
+"""Fig 10 — breakdown of the speedup factors.
+
+Paper shapes asserted:
+* full-slice + register blocking is the best case everywhere;
+* register blocking helps nvstencil much less than it helps full-slice
+  in total effect (the paper: ~11% vs the combined full-slice gains);
+* both the loading pattern and register blocking contribute — neither
+  alone reaches the combined speedup.
+"""
+
+import statistics
+
+from repro.harness import fig10_breakdown
+
+from conftest import fresh
+
+
+def test_fig10(benchmark, save_render):
+    result = benchmark.pedantic(
+        fresh(fig10_breakdown), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_render(result, "fig10.txt")
+
+    for device, order, nv_rb, fs, fs_rb in result.rows:
+        label = f"{device} order {order}"
+        # The combined method dominates both single-factor cases.
+        assert fs_rb >= fs, label
+        assert fs_rb >= nv_rb * 0.999, label
+        # The loading pattern alone already beats the baseline.
+        assert fs > 1.0, label
+
+    # Register blocking on nvstencil is the weakest lever on average
+    # (paper: ~11% vs full-slice totals of 36-42%).
+    nv_rb_gain = statistics.mean(r[2] - 1.0 for r in result.rows)
+    fs_rb_gain = statistics.mean(r[4] - 1.0 for r in result.rows)
+    assert fs_rb_gain > nv_rb_gain
+
+    # Register blocking adds on top of full-slice (paper: ~18%).
+    rb_on_fs = statistics.mean(r[4] / r[3] for r in result.rows)
+    assert rb_on_fs > 1.05

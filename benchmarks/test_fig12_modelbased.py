@@ -1,0 +1,36 @@
+"""Fig 12 — model-based auto-tuning vs exhaustive search (beta = 5%).
+
+Paper shapes asserted:
+* the model-based procedure executes only ~5% of the space;
+* the found configuration is within a modest gap of the exhaustive
+  optimum — the paper reports ~2% typical / ~6% worst; our simulator
+  reproduces <=4-5% for most cells with a couple of low-order outliers
+  (recorded in EXPERIMENTS.md), so the bench asserts a median gap under
+  5% and a hard cap of 25%.
+"""
+
+import statistics
+
+from repro.harness import fig12_modelbased
+
+from conftest import fresh
+
+
+def test_fig12(benchmark, save_render):
+    result = benchmark.pedantic(
+        fresh(fig12_modelbased), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_render(result, "fig12.txt")
+
+    gaps = []
+    for device, order, exh, mb, gap_text, executed in result.rows:
+        done, total = (int(v) for v in executed.split("/"))
+        # Only the beta fraction was executed.
+        assert done <= max(1, round(0.05 * total) + 1), f"{device} o{order}"
+        assert mb <= exh * 1.0001
+        gaps.append(1.0 - mb / exh)
+
+    assert statistics.median(gaps) <= 0.05
+    assert max(gaps) <= 0.25
+    # The procedure is useful: most cells land within a few percent.
+    assert sum(1 for g in gaps if g <= 0.06) >= len(gaps) * 2 / 3

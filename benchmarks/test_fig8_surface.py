@@ -1,0 +1,39 @@
+"""Fig 8 — auto-tuning performance surfaces over (RX, RY).
+
+The paper plots order-2 and order-8 surfaces on the GTX580: a ridge of
+good register-tiling configurations with a cliff where register pressure
+spills or constraints bite.
+"""
+
+from repro.harness import fig8_surface
+
+from conftest import fresh
+
+
+def test_fig8_order2(benchmark, save_render):
+    result = benchmark.pedantic(
+        fresh(fig8_surface, order=2, device="gtx580"),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    save_render(result, "fig8_order2.txt")
+    rates = [row[4] for row in result.rows]
+    best = max(rates)
+    assert best > 0
+    # Register tiling helps: the best point beats the (1, 1) corner.
+    base = next(r[4] for r in result.rows if r[2] == 1 and r[3] == 1)
+    assert best > base
+    # And over-aggressive tiling falls off a cliff (spills/limits).
+    assert min(rates) < 0.6 * best
+
+
+def test_fig8_order8(benchmark, save_render):
+    result = benchmark.pedantic(
+        fresh(fig8_surface, order=8, device="gtx580"),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    save_render(result, "fig8_order8.txt")
+    rates = {(r[2], r[3]): r[4] for r in result.rows}
+    best_cfg = max(rates, key=rates.get)
+    # Paper's order-8 optimum used a small register tile (1 x 4): at high
+    # order the per-element register state limits RX*RY.
+    assert best_cfg[0] * best_cfg[1] <= 8

@@ -1,0 +1,22 @@
+"""Fig 9 — global memory load efficiency, full-slice vs nvstencil.
+
+Paper shape: the full-slice method's load efficiency exceeds nvstencil's
+for every stencil order on every GPU (better coalescing of the halo
+loads), even though full-slice deliberately over-fetches 4r^2 corner
+elements per plane.
+"""
+
+from repro.harness import fig9_load_efficiency
+
+from conftest import fresh
+
+
+def test_fig9(benchmark, save_render):
+    result = benchmark.pedantic(
+        fresh(fig9_load_efficiency), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_render(result, "fig9.txt")
+    for device, order, nv, fs in result.rows:
+        assert fs > nv, f"{device} order {order}"
+        assert 0.0 < nv < 1.0
+        assert 0.0 < fs <= 1.0

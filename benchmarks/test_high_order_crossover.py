@@ -1,0 +1,30 @@
+"""Section IV-C — how far up the stencil order the full-slice win persists.
+
+Paper: on the Tesla C2070, the full-slice method keeps its advantage up to
+~32nd order for SP stencils and ~16th order for DP.  Shapes asserted: the
+speedup declines with order; SP stays winning to a higher order than DP;
+SP still wins at order 16+.
+"""
+
+from repro.harness import high_order_crossover
+
+from conftest import fresh
+
+
+def test_crossover(benchmark, save_render):
+    result = benchmark.pedantic(
+        fresh(high_order_crossover), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_render(result, "crossover.txt")
+
+    sp = {r[1]: r[2] for r in result.rows if r[0] == "SP" and isinstance(r[1], int)}
+    dp = {r[1]: r[2] for r in result.rows if r[0] == "DP" and isinstance(r[1], int)}
+    sp_last = next(r[2] for r in result.rows if r[0] == "SP" and r[1] == "last winning order")
+    dp_last = next(r[2] for r in result.rows if r[0] == "DP" and r[1] == "last winning order")
+
+    # Declining trend in both precisions.
+    assert sp[2] > sp[max(sp)]
+    assert dp[2] > dp[max(dp)]
+    # SP keeps winning at least as long as DP, and well past order 12.
+    assert sp_last >= dp_last
+    assert sp_last >= 16

@@ -1,0 +1,15 @@
+"""Table I — stencil kernel specifications."""
+
+from repro.harness import table1_specs
+from repro.stencils.catalog import PAPER_TABLE1
+
+
+def test_table1(benchmark, save_render):
+    result = benchmark(table1_specs)
+    save_render(result, "table1.txt")
+    # Exact reproduction: every published cell regenerated from first
+    # principles (6r+2 references, 7r+1 flops, (2r+1)^3 extent).
+    for order, extent, mem, flops, p_mem, p_flops in result.rows:
+        assert (mem, flops) == PAPER_TABLE1[order]
+        side = order + 1
+        assert extent == f"{side}x{side}x{side}"

@@ -1,0 +1,20 @@
+"""Table III — GPU specifications (derived vs published)."""
+
+import pytest
+
+from repro.harness import table3_devices
+
+
+def test_table3(benchmark, save_render):
+    result = benchmark(table3_devices)
+    save_render(result, "table3.txt")
+    published = {
+        "GeForce GTX580": (192.4, 1581.0, 198.0),
+        "GeForce GTX680": (192.3, 3090.0, 129.0),
+        "Tesla C2070": (144.0, 1030.0, 515.0),
+    }
+    for name, pin_bw, sp, dp, _paper, _measured in result.rows:
+        want = published[name]
+        assert pin_bw == pytest.approx(want[0])
+        assert sp == pytest.approx(want[1], rel=0.01)
+        assert dp == pytest.approx(want[2], rel=0.01)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Application survey: all six Table V stencils, end to end.
+
+For each application of the paper's section V — Div, Grad, Hyperthermia,
+Upstream, Laplacian, Poisson — this example:
+
+1. builds the multi-grid kernel for both schedules,
+2. verifies numerics on random inputs against the direct reference,
+3. tunes both on a simulated GTX580 (forward baseline thread-only, like
+   the paper's nvstencil), and
+4. prints the Fig 11-style speedup bar, annotated with the per-app grid
+   traffic that explains it.
+"""
+
+import numpy as np
+
+import repro
+from repro.harness.runner import FULL_SPACE, THREAD_ONLY_SPACE
+from repro.kernels.multigrid import MultiGridKernel
+from repro.stencils.applications import APPLICATIONS, PAPER_TABLE5
+from repro.stencils.reference import apply_expr
+from repro.tuning.exhaustive import exhaustive_tune
+
+GRID = (512, 512, 256)
+DEVICE = "gtx580"
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    dev = repro.get_device(DEVICE)
+
+    print(f"{'app':14s} {'in/out':>6} {'verified':>9} "
+          f"{'forward':>9} {'in-plane':>9} {'speedup':>8}")
+    for name, expr in APPLICATIONS.items():
+        # Numeric verification on small random grids.
+        grids = [rng.random((12, 16, 20)).astype(np.float32)
+                 for _ in range(expr.n_grids)]
+        kern = MultiGridKernel(expr, repro.BlockConfig(16, 4), "sp",
+                               method="inplane")
+        refs = apply_expr(expr, grids)
+        kern.validate_against(refs, kern.execute(*grids))
+
+        # Tune both schedules (baseline without register tiling).
+        fwd = exhaustive_tune(
+            lambda cfg: MultiGridKernel(expr, cfg, "sp", method="forward"),
+            dev, GRID, THREAD_ONLY_SPACE,
+        )
+        inp = exhaustive_tune(
+            lambda cfg: MultiGridKernel(expr, cfg, "sp", method="inplane"),
+            dev, GRID, FULL_SPACE,
+        )
+        n_in, n_out = PAPER_TABLE5[name]
+        print(f"{name:14s} {f'{n_in}/{n_out}':>6} {'ok':>9} "
+              f"{fwd.best_mpoints:9.0f} {inp.best_mpoints:9.0f} "
+              f"{inp.best_mpoints / fwd.best_mpoints:7.2f}x")
+
+    print("\nwhy hyperthermia barely gains (section V-A):")
+    expr = APPLICATIONS["hyperthermia"]
+    kern = MultiGridKernel(expr, repro.BlockConfig(32, 8), "sp", method="inplane")
+    wl = kern.block_workload(dev, GRID)
+    stenciled = expr.stenciled_grids()
+    coeffs = expr.coefficient_grids()
+    print(f"  grids with stencil halos     : {len(stenciled)}")
+    print(f"  pure coefficient volumes     : {len(coeffs)}")
+    print(f"  bytes moved per block plane  : {wl.memory.total_transferred_bytes:.0f}")
+    print("  -> the coefficient volumes are loaded identically by both "
+          "methods, so the loading-pattern advantage is diluted ~10x.")
+
+
+if __name__ == "__main__":
+    main()

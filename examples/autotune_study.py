@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Auto-tuning study: exhaustive search, the performance model, and the
+beta-cutoff procedure (sections IV-C and VI).
+
+Reproduces the paper's tuning story for one stencil on one GPU:
+
+* sweeps the full constrained (TX, TY, RX, RY) space exhaustively;
+* prints the Fig 8-style performance surface at the optimal (TX, TY);
+* ranks the space with the analytical model (Eqns (6)-(14)) and shows how
+  the best-found configuration improves as the executed fraction beta
+  grows — the economics of model-based tuning.
+"""
+
+import math
+
+import repro
+from repro.kernels.factory import make_kernel
+from repro.tuning.exhaustive import exhaustive_tune, feasible_configs
+from repro.tuning.modelbased import model_based_tune
+from repro.tuning.perfmodel import ModelInputs, PaperModel
+
+ORDER = 8
+DEVICE = "gtx580"
+GRID = (512, 512, 256)
+
+
+def main() -> None:
+    spec = repro.symmetric(ORDER)
+    dev = repro.get_device(DEVICE)
+    build = lambda cfg: make_kernel("inplane_fullslice", spec, cfg)
+
+    # Exhaustive ground truth.
+    exh = exhaustive_tune(build, dev, GRID)
+    print(exh.summary())
+    print("top five configurations:")
+    for entry in exh.entries[:5]:
+        print(f"  {entry.config.label():>16} {entry.mpoints_per_s:9.1f} MPt/s  "
+              f"occ {entry.info['occupancy']:.0%}  "
+              f"eff {entry.info['load_efficiency']:.0%}")
+
+    # Fig 8-style surface at the winning (TX, TY).
+    tx, ty = exh.best_config.tx, exh.best_config.ty
+    print(f"\nperformance surface at TX={tx}, TY={ty} (MPt/s):")
+    print("        " + "".join(f"RY={ry:<8}" for ry in (1, 2, 4, 8)))
+    for rx in (1, 2, 4):
+        cells = []
+        for ry in (1, 2, 4, 8):
+            try:
+                cfg = repro.BlockConfig(tx, ty, rx, ry)
+                rep = repro.simulate(build(cfg), dev, GRID)
+                cells.append(f"{rep.mpoints_per_s:8.0f}")
+            except repro.ReproError:
+                cells.append(f"{'-':>8}")
+        print(f"  RX={rx}  " + "  ".join(cells))
+
+    # The model's view: predicted vs simulated for the exhaustive top five.
+    model = PaperModel(dev)
+    print("\nmodel predictions for the simulator's top five:")
+    for entry in exh.entries[:5]:
+        pred = model.predict(ModelInputs.from_plan(build(entry.config), dev, GRID))
+        print(f"  {entry.config.label():>16} simulated {entry.mpoints_per_s:9.1f}"
+              f"  model {pred.mpoints_per_s:9.1f}")
+
+    # Beta economics: executed configurations vs achieved fraction of optimum.
+    n_space = len(feasible_configs(build, dev, GRID))
+    print(f"\nmodel-based tuning economics ({n_space} feasible configs):")
+    for beta in (0.02, 0.05, 0.10, 0.25):
+        res = model_based_tune(build, dev, GRID, beta=beta)
+        frac = res.best_mpoints / exh.best_mpoints
+        print(f"  beta {beta:4.0%}: executed {res.evaluated:3d}"
+              f" ({math.ceil(beta * n_space):3d} budget)"
+              f" -> {frac:6.1%} of the exhaustive optimum")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Heat diffusion: the iterative stencil loop of the paper's Fig 1.
+
+A hot cubical region diffuses through a cold block.  The example drives
+the full Jacobi double-buffer loop (``repro.iterate``) with a convergence
+stop criterion, checks the physics (heat conservation up to boundary flux,
+monotone smoothing), and then uses the simulator to *plan* the production
+run: how long would 1000 sweeps of this kernel take on each of the
+paper's GPUs, tuned vs untuned?
+"""
+
+import numpy as np
+
+import repro
+from repro.driver import converged, residual
+from repro.harness.runner import tune_family
+
+
+def make_initial(n: int = 48) -> np.ndarray:
+    """Cold block with a hot cube in the middle."""
+    grid = np.zeros((n, n, n), dtype=np.float32)
+    lo, hi = n // 2 - 4, n // 2 + 4
+    grid[lo:hi, lo:hi, lo:hi] = 100.0
+    return grid
+
+
+def main() -> None:
+    spec = repro.symmetric(order=2)  # the classic 7-point heat kernel
+    kern = repro.make_kernel("inplane_fullslice", spec, (16, 4, 1, 2))
+
+    initial = make_initial()
+    print(f"initial: max={initial.max():.1f}, mean={initial.mean():.3f}")
+
+    # Run until the per-sweep change drops below 1e-3 degrees.
+    final, steps = repro.iterate(kern, initial, until=converged(1e-3),
+                                 max_steps=2000)
+    print(f"converged after {steps} sweeps: "
+          f"max={final.max():.2f}, mean={final.mean():.3f}")
+
+    # The maximum principle: diffusion never overshoots the initial range,
+    # and the peak temperature decays monotonically.
+    assert 0.0 <= final.min() and final.max() <= 100.0
+    probe = initial
+    peaks = []
+    for _ in range(5):
+        probe = kern.execute(probe)
+        peaks.append(float(probe.max()))
+    assert all(a >= b - 1e-3 for a, b in zip(peaks, peaks[1:]))
+    print(f"peak decay over 5 sweeps: {[round(p, 1) for p in peaks]}")
+    print(f"final residual: {residual(final, kern.execute(final)):.2e}")
+
+    # Production planning on the simulated hardware: the paper's grid,
+    # 1000 sweeps, per device, tuned vs a naive configuration.
+    print("\nplanning 1000 sweeps over 512x512x256 (simulated):")
+    for device in ("gtx580", "gtx680", "c2070"):
+        naive = repro.simulate(kern, device, (512, 512, 256))
+        tuned = tune_family("inplane_fullslice", 2, device)
+        tuned_kern = repro.make_kernel(
+            "inplane_fullslice", spec, tuned.best_config
+        )
+        tuned_rep = repro.simulate(tuned_kern, device, (512, 512, 256))
+        print(f"  {device}: untuned {1000 * naive.time_s:6.2f}s -> "
+              f"tuned {1000 * tuned_rep.time_s:6.2f}s "
+              f"with {tuned.best_config.label()} "
+              f"({tuned_rep.mpoints_per_s:,.0f} MPt/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only enables
+legacy editable installs (`pip install -e . --no-use-pep517`) on the
+offline toolchain used for reproduction runs.
+"""
+from setuptools import setup
+
+setup()

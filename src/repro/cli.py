@@ -1,0 +1,295 @@
+"""Command-line interface.
+
+Usage::
+
+    repro list-devices
+    repro list-kernels
+    repro simulate --kernel inplane_fullslice --order 4 --device gtx580 \
+                   --block 32,4,1,4 [--dtype dp] [--grid 512,512,256]
+    repro tune --kernel inplane_fullslice --order 2 --device gtx680 \
+               [--method model --beta 0.05] [--no-register-blocking]
+    repro experiment fig7 [--out fig7.csv]
+    repro experiment all --out-dir results/
+    repro codegen --kernel inplane_fullslice --order 4 --block 32,4,1,4 \
+                  [--out kernel.cu] [--driver]
+    repro scaling --gpus 1,2,4,8 [--weak] [--order 2] [--device gtx580]
+
+``repro experiment`` regenerates any table/figure of the paper by name
+(table1, table2, table3, table4, fig7, fig8, fig9, fig10, fig11, fig12,
+crossover); ``repro codegen`` emits the CUDA C for a kernel plan;
+``repro scaling`` runs the multi-GPU slab-decomposition cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import __version__
+from repro.gpusim.device import get_device, list_devices
+from repro.gpusim.executor import simulate
+from repro.kernels.config import BlockConfig
+from repro.kernels.factory import KERNEL_FAMILIES, make_kernel
+from repro.stencils.spec import symmetric
+
+
+def _parse_ints(text: str, n: int | None = None) -> tuple[int, ...]:
+    parts = tuple(int(p) for p in text.split(","))
+    if n is not None and len(parts) != n:
+        raise argparse.ArgumentTypeError(f"expected {n} comma-separated ints")
+    return parts
+
+
+def _cmd_list_devices(_args: argparse.Namespace) -> int:
+    for name in list_devices():
+        dev = get_device(name)
+        print(
+            f"{name:8s} {dev.display_name:18s} {dev.sm_count:3d} SMs  "
+            f"{dev.peak_sp_gflops:7.0f} SP GFlop/s  "
+            f"{dev.measured_bandwidth_gbs:6.1f} GB/s measured"
+        )
+    return 0
+
+
+def _cmd_list_kernels(_args: argparse.Namespace) -> int:
+    for name in sorted(KERNEL_FAMILIES):
+        print(name)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    block = BlockConfig(*_parse_ints(args.block))
+    plan = make_kernel(args.kernel, symmetric(args.order), block, args.dtype)
+    report = simulate(plan, args.device, _parse_ints(args.grid, 3))
+    print(report.summary())
+    for key, value in sorted(report.breakdown.items()):
+        print(f"  {key}: {value:.1f}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro import autotune
+    from repro.harness.runner import tune_family
+
+    if args.method == "model":
+        result = autotune(
+            args.kernel, args.order, args.device,
+            grid_shape=_parse_ints(args.grid, 3), dtype=args.dtype,
+            method="model", beta=args.beta,
+        )
+    else:
+        result = tune_family(
+            args.kernel, args.order, args.device, dtype=args.dtype,
+            grid=_parse_ints(args.grid, 3),
+            register_blocking=not args.no_register_blocking,
+        )
+    print(result.summary())
+    for entry in result.entries[:10]:
+        line = f"  {entry.config.label():>18} {entry.mpoints_per_s:10.1f} MPt/s"
+        if entry.predicted is not None:
+            line += f"  (model: {entry.predicted:10.1f})"
+        print(line)
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": "table1_specs",
+    "table2": "table2_opcounts",
+    "table3": "table3_devices",
+    "table4": "table4_autotune",
+    "fig7": "fig7_variants",
+    "fig8": "fig8_surface",
+    "fig9": "fig9_load_efficiency",
+    "fig10": "fig10_breakdown",
+    "fig11": "fig11_applications",
+    "fig12": "fig12_modelbased",
+    "crossover": "high_order_crossover",
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.harness as harness
+    from repro.harness.export import write_result
+
+    names = list(_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        func = getattr(harness, _EXPERIMENTS[name])
+        result = func()
+        if args.out and args.name != "all":
+            path = write_result(result, args.out)
+            print(f"wrote {path}")
+        elif args.out_dir:
+            out = Path(args.out_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            path = write_result(result, out / f"{name}.txt")
+            print(f"wrote {path}")
+        else:
+            print(result.render())
+            print()
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.codegen import generate_host_driver, generate_kernel
+
+    block = BlockConfig(*_parse_ints(args.block))
+    plan = make_kernel(args.kernel, symmetric(args.order), block, args.dtype)
+    src = generate_kernel(plan)
+    text = src.text
+    if args.driver:
+        text += "\n" + generate_host_driver(plan, _parse_ints(args.grid, 3))
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({src.line_count()} kernel lines)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """nvprof-style counter comparison of the loading variants."""
+    from repro.utils.tables import format_table
+
+    block = BlockConfig(*_parse_ints(args.block))
+    grid = _parse_ints(args.grid, 3)
+    dev = get_device(args.device)
+    rows = []
+    for family in ("nvstencil", "inplane_classical", "inplane_vertical",
+                   "inplane_horizontal", "inplane_fullslice"):
+        plan = make_kernel(family, symmetric(args.order), block, args.dtype)
+        wl = plan.block_workload(dev, grid)
+        rep = simulate(plan, dev, grid)
+        mem = wl.memory
+        rows.append((
+            family,
+            round(rep.mpoints_per_s, 1),
+            f"{rep.load_efficiency:.1%}",
+            round(mem.load_instructions, 1),
+            round(mem.load_transactions, 1),
+            round(mem.camped_bytes),
+            mem.load_phases,
+            f"{rep.occupancy.occupancy:.0%}",
+            wl.regs_per_thread,
+        ))
+    print(format_table(
+        ("variant", "MPt/s", "ld eff", "ld instr", "ld tx", "camped B",
+         "phases", "occ", "regs"),
+        rows,
+        title=(f"profile: order {args.order} {args.dtype.upper()} "
+               f"{block.label()} on {args.device}"),
+    ))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.cluster import MultiGpuStencil, PCIE_GEN2_X16
+
+    sim = MultiGpuStencil(
+        lambda: make_kernel(args.kernel, symmetric(args.order),
+                            BlockConfig(*_parse_ints(args.block)), args.dtype),
+        args.device,
+        link=PCIE_GEN2_X16,
+        overlap=args.overlap,
+    )
+    counts = _parse_ints(args.gpus)
+    grid = _parse_ints(args.grid, 3)
+    points = (
+        sim.weak_scaling(grid, counts) if args.weak else sim.strong_scaling(grid, counts)
+    )
+    mode = "weak" if args.weak else "strong"
+    print(f"{mode} scaling of order-{args.order} {args.kernel} on {args.device}:")
+    for p in points:
+        print(
+            f"  {p.gpus:3d} GPUs: {p.mpoints_per_s:10.0f} MPt/s  "
+            f"speedup {p.speedup:6.2f}  efficiency {p.efficiency:6.1%}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="In-plane stencil method reproduction (Tang et al., 2013)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-devices", help="list simulated GPUs").set_defaults(
+        func=_cmd_list_devices
+    )
+    sub.add_parser("list-kernels", help="list kernel families").set_defaults(
+        func=_cmd_list_kernels
+    )
+
+    sim = sub.add_parser("simulate", help="simulate one kernel configuration")
+    sim.add_argument("--kernel", default="inplane_fullslice")
+    sim.add_argument("--order", type=int, default=2)
+    sim.add_argument("--device", default="gtx580")
+    sim.add_argument("--block", default="32,4,1,4", help="TX,TY[,RX,RY]")
+    sim.add_argument("--dtype", default="sp", choices=("sp", "dp"))
+    sim.add_argument("--grid", default="512,512,256")
+    sim.set_defaults(func=_cmd_simulate)
+
+    tune = sub.add_parser("tune", help="auto-tune a kernel family")
+    tune.add_argument("--kernel", default="inplane_fullslice")
+    tune.add_argument("--order", type=int, default=2)
+    tune.add_argument("--device", default="gtx580")
+    tune.add_argument("--dtype", default="sp", choices=("sp", "dp"))
+    tune.add_argument("--grid", default="512,512,256")
+    tune.add_argument("--method", default="exhaustive", choices=("exhaustive", "model"))
+    tune.add_argument("--beta", type=float, default=0.05)
+    tune.add_argument("--no-register-blocking", action="store_true")
+    tune.set_defaults(func=_cmd_tune)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=(*_EXPERIMENTS, "all"))
+    exp.add_argument("--out", help="output file (.csv/.json/.txt)")
+    exp.add_argument("--out-dir", help="directory for 'all'")
+    exp.set_defaults(func=_cmd_experiment)
+
+    cg = sub.add_parser("codegen", help="emit CUDA C for a kernel plan")
+    cg.add_argument("--kernel", default="inplane_fullslice")
+    cg.add_argument("--order", type=int, default=4)
+    cg.add_argument("--block", default="32,4,1,4")
+    cg.add_argument("--dtype", default="sp", choices=("sp", "dp"))
+    cg.add_argument("--grid", default="512,512,256")
+    cg.add_argument("--out", help="write the .cu file here")
+    cg.add_argument("--driver", action="store_true", help="append host driver")
+    cg.set_defaults(func=_cmd_codegen)
+
+    prof = sub.add_parser("profile", help="compare variant counters (nvprof-style)")
+    prof.add_argument("--order", type=int, default=4)
+    prof.add_argument("--block", default="32,4,1,2")
+    prof.add_argument("--dtype", default="sp", choices=("sp", "dp"))
+    prof.add_argument("--device", default="gtx580")
+    prof.add_argument("--grid", default="512,512,256")
+    prof.set_defaults(func=_cmd_profile)
+
+    sc = sub.add_parser("scaling", help="multi-GPU slab scaling cost model")
+    sc.add_argument("--kernel", default="inplane_fullslice")
+    sc.add_argument("--order", type=int, default=2)
+    sc.add_argument("--block", default="64,4,4,2")
+    sc.add_argument("--dtype", default="sp", choices=("sp", "dp"))
+    sc.add_argument("--device", default="gtx580")
+    sc.add_argument("--grid", default="512,512,256")
+    sc.add_argument("--gpus", default="1,2,4,8")
+    sc.add_argument("--weak", action="store_true")
+    sc.add_argument("--overlap", type=float, default=0.0)
+    sc.set_defaults(func=_cmd_scaling)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

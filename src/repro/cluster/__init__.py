@@ -1,0 +1,28 @@
+"""Multi-GPU domain decomposition (extension).
+
+The paper's introduction motivates stencil optimization with "scal[ing]
+the simulation to larger problem sizes"; the era's standard recipe (see
+e.g. its refs [6], [7]) is slab decomposition along z with per-step halo
+exchange over PCIe.  This package provides both halves:
+
+* :mod:`repro.cluster.decompose` — numerically exact slab split / halo
+  exchange / merge, so a multi-GPU sweep provably equals the single-grid
+  sweep (property-tested);
+* :mod:`repro.cluster.multigpu` — the cost model: per-slab kernel time
+  from the GPU simulator plus PCIe transfer time per interface, giving
+  strong/weak scaling curves with the classic exchange-bound saturation.
+"""
+
+from repro.cluster.decompose import Slab, exchange_halos, merge_slabs, split_grid
+from repro.cluster.multigpu import LinkSpec, MultiGpuStencil, PCIE_GEN2_X16, PCIE_P2P
+
+__all__ = [
+    "Slab",
+    "split_grid",
+    "exchange_halos",
+    "merge_slabs",
+    "LinkSpec",
+    "MultiGpuStencil",
+    "PCIE_GEN2_X16",
+    "PCIE_P2P",
+]

@@ -1,0 +1,85 @@
+"""OpenCL C emitter — the portable twin of the CUDA generator.
+
+The paper names both CUDA and OpenCL as the programming models that make
+stencil SIMT offload practical (section I, refs [1], [2]).  This module
+emits the OpenCL rendering of a symmetric kernel plan by lowering the
+same structure the CUDA emitter produces through a small, explicit
+dialect mapping — one source of truth for the algorithm, two backends.
+
+Dialect mapping used (the complete set; tests pin it):
+
+========================  =================================
+CUDA                      OpenCL
+========================  =================================
+``__global__``            ``__kernel``
+``__shared__``            ``__local``
+``__constant__``          ``__constant``
+``__device__`` helpers    plain functions
+``__restrict__``          ``restrict``
+``threadIdx.x/y``         ``get_local_id(0/1)``
+``blockIdx.x/y``          ``get_group_id(0/1)``
+``__syncthreads()``       ``barrier(CLK_LOCAL_MEM_FENCE)``
+``float4``/``float2``     same (requires ``vloadn`` forms)
+``__launch_bounds__``     ``reqd_work_group_size`` attribute
+``extern "C"``            (not needed)
+========================  =================================
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.codegen.cuda import CudaSource, generate_kernel
+from repro.kernels.symmetric import SymmetricKernelPlan
+
+#: Ordered textual rewrites from the CUDA dialect to OpenCL.
+_REWRITES: tuple[tuple[str, str], ...] = (
+    (r'extern "C" __global__\n__launch_bounds__\(THREADS\)\nvoid ', "KERNEL_QUALIFIERS void "),
+    (r"__shared__ ", "__local "),
+    (r"__syncthreads\(\)", "barrier(CLK_LOCAL_MEM_FENCE)"),
+    (r"threadIdx\.x", "LID_X"),
+    (r"threadIdx\.y", "LID_Y"),
+    (r"blockIdx\.x", "get_group_id(0)"),
+    (r"blockIdx\.y", "get_group_id(1)"),
+    (r"__device__ __forceinline__ ", "inline "),
+    (r"__restrict__", "restrict"),
+    (r"reinterpret_cast<const (float|double)([24])\*>\(\s*&", r"(const __global \1\2*)(&"),
+    (r"\)\);\n(\s*store_vec)", "));\n\\1"),
+    (r"const (float|double)\* restrict in", r"const __global \1* restrict in"),
+    (r"(float|double)\* restrict out", r"__global \1* restrict out"),
+    (r"#pragma unroll", "__attribute__((opencl_unroll_hint))"),
+)
+
+
+def generate_opencl_kernel(plan: SymmetricKernelPlan) -> CudaSource:
+    """Emit the OpenCL C translation unit for ``plan``.
+
+    Returns a :class:`CudaSource` (same record type; the ``text`` is
+    OpenCL C and the name gains a ``_cl`` suffix).
+    """
+    cuda = generate_kernel(plan)
+    text = cuda.text
+
+    for pattern, repl in _REWRITES:
+        text = re.sub(pattern, repl, text)
+
+    # store_vecN helpers operate on __local pointers in OpenCL.
+    text = re.sub(
+        r"inline void store_vec(\d)\((float|double)\* dst",
+        r"inline void store_vec\1(__local \2* dst",
+        text,
+    )
+
+    prologue = f"""// OpenCL rendering of {cuda.name} (see the CUDA twin for commentary).
+#define KERNEL_QUALIFIERS __kernel __attribute__((reqd_work_group_size(BLOCK_X, BLOCK_Y, 1)))
+#define LID_X ((int)get_local_id(0))
+#define LID_Y ((int)get_local_id(1))
+"""
+    if plan.elem_bytes == 8:
+        prologue += "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n"
+
+    return CudaSource(
+        name=cuda.name + "_cl",
+        text=prologue + text,
+        launch_bounds=cuda.launch_bounds,
+    )

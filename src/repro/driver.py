@@ -1,0 +1,73 @@
+"""The iterative stencil loop driver — the paper's Fig 1.
+
+``iterate`` implements the Jacobi double-buffer loop: at each time step the
+kernel reads the ``in`` grid and produces ``out``; the buffers are then
+swapped (by reference, as the pseudo-code's ``Swap(in, out)`` swaps
+pointers) and iteration continues until the stop criterion — a fixed step
+count or a convergence predicate — is met.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.kernels.base import KernelPlan
+
+
+def iterate(
+    plan: KernelPlan,
+    initial: np.ndarray,
+    steps: int | None = None,
+    until: Callable[[np.ndarray, np.ndarray], bool] | None = None,
+    max_steps: int = 10_000,
+) -> tuple[np.ndarray, int]:
+    """Run the iterative stencil loop of Fig 1.
+
+    Parameters
+    ----------
+    plan:
+        A single-grid kernel plan (symmetric stencils).
+    initial:
+        The initial input grid.
+    steps:
+        Fixed number of sweeps, or ``None`` to iterate until ``until``.
+    until:
+        Stop criterion ``f(previous, current) -> bool``, checked after
+        every sweep (e.g. a residual threshold).
+    max_steps:
+        Safety bound when only ``until`` is given.
+
+    Returns the final grid and the number of sweeps executed.
+    """
+    if steps is None and until is None:
+        raise ValueError("provide steps, a stop criterion, or both")
+    limit = steps if steps is not None else max_steps
+
+    current = np.asarray(initial, dtype=plan.dtype)
+    done = 0
+    for _ in range(limit):
+        nxt = plan.execute(current)
+        done += 1
+        if until is not None and until(current, nxt):
+            current = nxt
+            break
+        current = nxt  # Swap(in, out): the new grid becomes the input.
+    return current, done
+
+
+def residual(previous: np.ndarray, current: np.ndarray) -> float:
+    """Max-norm change between sweeps — a standard stop criterion."""
+    return float(np.max(np.abs(current - previous)))
+
+
+def converged(tolerance: float) -> Callable[[np.ndarray, np.ndarray], bool]:
+    """Stop-criterion factory: change below ``tolerance``."""
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+
+    def check(previous: np.ndarray, current: np.ndarray) -> bool:
+        return residual(previous, current) < tolerance
+
+    return check

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the reproduction stack with one handler while
+still discriminating configuration problems from resource-limit violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A kernel/tuning configuration is malformed or internally inconsistent.
+
+    Examples: a thread-block x-dimension that is not a multiple of a
+    half-warp, a register-tile factor of zero, or a grid that is not
+    divisible by the effective tile as required by the paper's search
+    constraint (iv).
+    """
+
+
+class ResourceLimitError(ReproError):
+    """A kernel configuration exceeds a hard device limit.
+
+    Raised when a configuration cannot be *launched at all* (e.g. more
+    threads per block than the device supports, or a shared-memory buffer
+    larger than the per-SM shared memory).  Configurations that merely
+    reduce occupancy do not raise; they simply run slower.
+    """
+
+
+class UnknownDeviceError(ReproError):
+    """Requested device name is not present in the device registry."""
+
+
+class StencilDefinitionError(ReproError):
+    """A stencil specification or expression is invalid.
+
+    Examples: an even radius requested via an odd order, a tap referencing
+    a grid index that does not exist, or coefficient counts that do not
+    match the declared radius.
+    """
+
+
+class GridShapeError(ReproError):
+    """An input grid is too small for the stencil extent or mis-shaped."""
+
+
+class TuningError(ReproError):
+    """Auto-tuning failed, e.g. an empty feasible parameter space."""

@@ -1,0 +1,105 @@
+"""Per-generation architectural constants.
+
+The paper evaluates on two NVIDIA generations: Fermi (GTX580, Tesla
+C2070/C2050) and Kepler GK104 (GTX680), and section V-B extrapolates to
+GT200 (GTX280/285).  The per-generation rules collected here are the ones
+that change the *behaviour* of the kernels under study:
+
+* the size of a global-memory transaction (the unit of coalescing),
+* register-file and shared-memory allocation granularities,
+* the shared-memory bank count and word size,
+* scheduler issue width (warps issued per SM per cycle).
+
+Quantitative per-card numbers (SM counts, clocks, bandwidths) live in
+:mod:`repro.gpusim.device`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Number of threads in a warp — constant across every generation modeled.
+WARP_SIZE: int = 32
+
+#: Half-warp size; the paper's tuning constraint (i) requires TX to be a
+#: multiple of this to help coalescing.
+HALF_WARP: int = 16
+
+
+class Generation(enum.Enum):
+    """GPU micro-architecture generation."""
+
+    GT200 = "gt200"
+    FERMI = "fermi"
+    KEPLER = "kepler"
+
+
+@dataclass(frozen=True)
+class ArchRules:
+    """Generation-wide rules that govern coalescing and resource allocation.
+
+    Attributes
+    ----------
+    transaction_bytes:
+        Size of one global-memory transaction.  Fermi and Kepler fetch
+        128-byte L1 cache lines for cached loads; GT200 coalesces into
+        segments of up to 128 bytes as well (we model the 128B path).
+    register_alloc_granularity:
+        Registers are allocated to a warp in chunks of this many registers.
+    smem_alloc_granularity:
+        Shared memory is allocated per block in chunks of this many bytes.
+    smem_banks / smem_bank_bytes:
+        Bank structure of shared memory (32 banks x 4 bytes on Fermi and
+        Kepler; 16 x 4 on GT200).
+    issue_width:
+        Independent warp instructions the SM's schedulers can issue per
+        cycle (2 dual-issue schedulers on Fermi GF110, 4 on Kepler SMX).
+    max_regs_per_thread:
+        Hard per-thread register cap; above it the compiler spills to local
+        memory, which the timing model charges as extra global traffic.
+    """
+
+    transaction_bytes: int
+    register_alloc_granularity: int
+    smem_alloc_granularity: int
+    smem_banks: int
+    smem_bank_bytes: int
+    issue_width: int
+    max_regs_per_thread: int
+
+
+_RULES: dict[Generation, ArchRules] = {
+    Generation.GT200: ArchRules(
+        transaction_bytes=128,
+        register_alloc_granularity=512,
+        smem_alloc_granularity=512,
+        smem_banks=16,
+        smem_bank_bytes=4,
+        issue_width=1,
+        max_regs_per_thread=124,
+    ),
+    Generation.FERMI: ArchRules(
+        transaction_bytes=128,
+        register_alloc_granularity=64,
+        smem_alloc_granularity=128,
+        smem_banks=32,
+        smem_bank_bytes=4,
+        issue_width=2,
+        max_regs_per_thread=63,
+    ),
+    Generation.KEPLER: ArchRules(
+        transaction_bytes=128,
+        register_alloc_granularity=256,
+        smem_alloc_granularity=256,
+        smem_banks=32,
+        smem_bank_bytes=4,
+        issue_width=4,
+        max_regs_per_thread=63,  # GK104; GK110 raised this to 255
+    ),
+}
+
+
+def rules_for(generation: Generation) -> ArchRules:
+    """Return the :class:`ArchRules` for ``generation``."""
+    return _RULES[generation]

@@ -1,0 +1,306 @@
+"""Global-memory coalescing model.
+
+The unit of modeling is the *warp load/store instruction*: one instruction
+issued by a warp that accesses a contiguous span of bytes with some number
+of active lanes.  The hardware services such an instruction by fetching
+every distinct transaction line (128 bytes on Fermi/Kepler) the span
+touches.  Everything the paper measures about memory efficiency reduces to
+two counters derivable from this model:
+
+* ``requested_bytes`` — bytes the program asked for (active lanes x element
+  size x vector width);
+* ``transferred_bytes`` — transaction count x line size.
+
+Their ratio is exactly the "global memory load efficiency" metric of the
+paper's Fig 9 (the CUDA profiler's ``gld_efficiency``).
+
+Kernels describe their per-plane traffic as a list of :class:`WarpAccess`
+records via region helpers (:func:`row_region_accesses`,
+:func:`column_strip_accesses`); the timing model aggregates them with
+:class:`MemoryStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.arch import WARP_SIZE
+from repro.utils.maths import ceil_div
+
+
+#: Classification of an access, used for the L2 halo-reuse effect and for
+#: per-region efficiency reporting.
+KIND_INTERIOR = "interior"
+KIND_HALO = "halo"
+KIND_WRITE = "write"
+KIND_SPILL = "spill"
+
+
+@dataclass(frozen=True)
+class WarpAccess:
+    """One warp-level global-memory instruction (possibly repeated).
+
+    Attributes
+    ----------
+    start_byte:
+        Byte offset (within the grid allocation) of the first byte the
+        instruction touches.  Only its alignment phase relative to the
+        transaction line matters.
+    span_bytes:
+        Contiguous extent accessed by the active lanes.
+    useful_bytes:
+        Bytes actually requested by live lanes (<= span_bytes; smaller when
+        some lanes are predicated off).
+    count:
+        Number of identical instructions with the same line phase (e.g. one
+        per row of a region whose pitch is line-aligned).
+    kind:
+        One of the ``KIND_*`` constants.
+    """
+
+    start_byte: int
+    span_bytes: int
+    useful_bytes: int
+    count: int = 1
+    kind: str = KIND_INTERIOR
+
+    def __post_init__(self) -> None:
+        if self.span_bytes <= 0:
+            raise ValueError("span_bytes must be positive")
+        if not 0 < self.useful_bytes <= self.span_bytes:
+            raise ValueError("useful_bytes must be in (0, span_bytes]")
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+
+    def transactions_each(self, line_bytes: int) -> int:
+        """Distinct transaction lines touched by one instance."""
+        return line_span(self.start_byte, self.span_bytes, line_bytes)
+
+
+def line_span(start_byte: int, span_bytes: int, line_bytes: int = 128) -> int:
+    """Number of ``line_bytes``-sized lines covering [start, start+span).
+
+    This is the transaction count for a contiguous warp access: the first
+    and last byte may fall in different lines, and a misaligned start costs
+    an extra transaction exactly when it crosses a line boundary.
+    """
+    if span_bytes <= 0:
+        raise ValueError("span_bytes must be positive")
+    if line_bytes <= 0:
+        raise ValueError("line_bytes must be positive")
+    first = start_byte // line_bytes
+    last = (start_byte + span_bytes - 1) // line_bytes
+    return int(last - first + 1)
+
+
+def best_vector_width(
+    start_byte: int, width_elems: int, elem_bytes: int, max_vec: int = 4
+) -> int:
+    """Largest usable vector width (elements/lane) for a contiguous load.
+
+    Section III-C-2: two-element vectors need 8-byte alignment, four-element
+    vectors 16-byte alignment, and the width must divide evenly so no lane
+    straddles the region edge.  Doubles cap at ``double2`` (16-byte units).
+    """
+    vec = max_vec
+    if elem_bytes == 8:
+        vec = min(vec, 2)
+    while vec > 1:
+        if width_elems % vec == 0 and start_byte % (vec * elem_bytes) == 0:
+            return vec
+        vec //= 2
+    return 1
+
+
+@dataclass
+class MemoryStats:
+    """Aggregated global-memory behaviour of one block for one z-plane.
+
+    ``instructions`` counts warp-level load/store issues; the split of
+    requested/transferred bytes by interior/halo feeds the L2 reuse model
+    and the Fig 9 efficiency metric (loads only, as in the profiler).
+    """
+
+    line_bytes: int = 128
+    load_instructions: int = 0
+    store_instructions: int = 0
+    load_transactions: int = 0
+    store_transactions: int = 0
+    requested_load_bytes: int = 0
+    requested_store_bytes: int = 0
+    halo_transferred_bytes: int = 0
+    interior_transferred_bytes: int = 0
+    store_transferred_bytes: int = 0
+    spill_transferred_bytes: int = 0
+    #: Number of distinct load "phases" — separately issued region groups
+    #: that serialize behind the per-plane barrier (interior vs halo sides).
+    #: Drives the divergence/latency-exposure penalty of split loading.
+    load_phases: int = 0
+    #: Bytes moved by transactions that walk a column at the grid pitch —
+    #: a power-of-two stride, so successive lines map to the *same* DRAM
+    #: partition and serialize there (Fermi-era "partition camping").
+    #: The timing model charges these an extra service-cost multiplier.
+    camped_bytes: float = 0.0
+
+    def add(self, access: WarpAccess, instructions: int | None = None) -> None:
+        """Accumulate one :class:`WarpAccess`.
+
+        ``instructions`` overrides the default of one issue per instance;
+        region helpers pass the warp-decomposed count (e.g. a 256-element
+        row needs ceil(256 / (32*vec)) issues even though it is a single
+        logical access).
+        """
+        issues = access.count if instructions is None else instructions
+        tx = access.transactions_each(self.line_bytes) * access.count
+        moved = tx * self.line_bytes
+        if access.kind == KIND_WRITE:
+            self.store_instructions += issues
+            self.store_transactions += tx
+            self.requested_store_bytes += access.useful_bytes * access.count
+            self.store_transferred_bytes += moved
+        else:
+            self.load_instructions += issues
+            self.load_transactions += tx
+            self.requested_load_bytes += access.useful_bytes * access.count
+            if access.kind == KIND_HALO:
+                self.halo_transferred_bytes += moved
+            elif access.kind == KIND_SPILL:
+                self.spill_transferred_bytes += moved
+            else:
+                self.interior_transferred_bytes += moved
+
+    def add_raw(
+        self,
+        *,
+        kind: str,
+        instructions: float,
+        transactions: float,
+        requested_bytes: float,
+        camped: bool = False,
+    ) -> None:
+        """Accumulate pre-computed counts directly.
+
+        Region builders that average transaction counts over tile alignment
+        phases produce fractional per-block values; this entry point accepts
+        them.  ``transferred = transactions * line_bytes`` as usual.
+        """
+        if instructions < 0 or transactions < 0 or requested_bytes < 0:
+            raise ValueError("raw memory counts must be non-negative")
+        moved = transactions * self.line_bytes
+        if camped:
+            self.camped_bytes += moved
+        if kind == KIND_WRITE:
+            self.store_instructions += instructions
+            self.store_transactions += transactions
+            self.requested_store_bytes += requested_bytes
+            self.store_transferred_bytes += moved
+        else:
+            self.load_instructions += instructions
+            self.load_transactions += transactions
+            self.requested_load_bytes += requested_bytes
+            if kind == KIND_HALO:
+                self.halo_transferred_bytes += moved
+            elif kind == KIND_SPILL:
+                self.spill_transferred_bytes += moved
+            else:
+                self.interior_transferred_bytes += moved
+
+    @property
+    def load_transferred_bytes(self) -> int:
+        """All bytes moved for loads (interior + halo + spill)."""
+        return (
+            self.interior_transferred_bytes
+            + self.halo_transferred_bytes
+            + self.spill_transferred_bytes
+        )
+
+    @property
+    def total_transferred_bytes(self) -> int:
+        """All bytes moved in both directions."""
+        return self.load_transferred_bytes + self.store_transferred_bytes
+
+    @property
+    def load_efficiency(self) -> float:
+        """Requested / transferred for loads — the paper's Fig 9 metric."""
+        if self.load_transferred_bytes == 0:
+            return 1.0
+        return self.requested_load_bytes / self.load_transferred_bytes
+
+    def merge(self, other: "MemoryStats") -> None:
+        """Accumulate ``other`` (same line size) into this object."""
+        if other.line_bytes != self.line_bytes:
+            raise ValueError("cannot merge MemoryStats with different line sizes")
+        self.load_instructions += other.load_instructions
+        self.store_instructions += other.store_instructions
+        self.load_transactions += other.load_transactions
+        self.store_transactions += other.store_transactions
+        self.requested_load_bytes += other.requested_load_bytes
+        self.requested_store_bytes += other.requested_store_bytes
+        self.halo_transferred_bytes += other.halo_transferred_bytes
+        self.interior_transferred_bytes += other.interior_transferred_bytes
+        self.store_transferred_bytes += other.store_transferred_bytes
+        self.spill_transferred_bytes += other.spill_transferred_bytes
+        self.load_phases += other.load_phases
+        self.camped_bytes += other.camped_bytes
+
+
+def row_region_accesses(
+    *,
+    start_byte: int,
+    width_elems: int,
+    rows: int,
+    elem_bytes: int,
+    vec_width: int = 1,
+    kind: str = KIND_INTERIOR,
+    stats: MemoryStats,
+) -> None:
+    """Account a rectangular region loaded/stored as contiguous row spans.
+
+    The region's rows are assumed to share one line phase (true when the
+    grid pitch is a multiple of the transaction line, which the layout
+    guarantees).  Each row of ``width_elems`` elements decomposes into
+    ``ceil(width / (WARP_SIZE * vec))`` warp instructions — the warp-based
+    assignment of section III-C-2 where loads are partitioned to warps in
+    aligned chunks.
+    """
+    if width_elems <= 0 or rows <= 0:
+        raise ValueError("region must be non-empty")
+    issues_per_row = ceil_div(width_elems, WARP_SIZE * vec_width)
+    access = WarpAccess(
+        start_byte=start_byte,
+        span_bytes=width_elems * elem_bytes,
+        useful_bytes=width_elems * elem_bytes,
+        count=rows,
+        kind=kind,
+    )
+    stats.add(access, instructions=issues_per_row * rows)
+
+
+def column_strip_accesses(
+    *,
+    start_byte: int,
+    width_elems: int,
+    rows: int,
+    elem_bytes: int,
+    kind: str = KIND_HALO,
+    stats: MemoryStats,
+) -> None:
+    """Account a narrow column strip loaded row-by-row by perimeter lanes.
+
+    This is the *nvstencil* left/right halo pattern of Fig 4: for each row,
+    a handful of lanes (``width_elems`` of them, width = stencil radius)
+    issue one load whose span is tiny compared to the 128-byte line it
+    drags in — the uncoalesced access the paper blames for the baseline's
+    low load efficiency.
+    """
+    if width_elems <= 0 or rows <= 0:
+        raise ValueError("strip must be non-empty")
+    access = WarpAccess(
+        start_byte=start_byte,
+        span_bytes=width_elems * elem_bytes,
+        useful_bytes=width_elems * elem_bytes,
+        count=rows,
+        kind=kind,
+    )
+    # One predicated warp instruction per row regardless of lane count.
+    stats.add(access, instructions=rows)

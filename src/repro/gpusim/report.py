@@ -1,0 +1,68 @@
+"""Simulation result records.
+
+A :class:`SimReport` is what "running" a kernel configuration on the
+simulated device returns — the analogue of one timed CUDA launch plus the
+profiler counters the paper reports (MPoint/s, GFlop/s, global load
+efficiency, occupancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.gpusim.occupancy import OccupancyResult
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Outcome of simulating one kernel sweep over the grid.
+
+    Attributes
+    ----------
+    device_name / kernel_name:
+        Identifies what ran where.
+    total_cycles / time_s:
+        Simulated duration of one full grid sweep.
+    mpoints_per_s:
+        Grid points computed per second / 1e6 — the paper's headline metric.
+    gflops:
+        Floating-point rate implied by the kernel's flops/point.
+    load_efficiency:
+        Requested/transferred for global loads (Fig 9 metric).
+    bandwidth_gbs:
+        Achieved DRAM bandwidth (bytes moved / time).
+    occupancy:
+        Resident-warp occupancy result for the configuration.
+    stages / active_blocks / blocks:
+        Wave-scheduling summary (Eqns (6), (8)).
+    breakdown:
+        Cycle breakdown per SM: memory / compute / latency-exposure /
+        overhead components, for diagnostics and ablation benches.
+    meta:
+        Free-form extras (block config, grid shape, dtype...).
+    """
+
+    device_name: str
+    kernel_name: str
+    total_cycles: float
+    time_s: float
+    mpoints_per_s: float
+    gflops: float
+    load_efficiency: float
+    bandwidth_gbs: float
+    occupancy: OccupancyResult
+    stages: int
+    active_blocks: int
+    blocks: int
+    breakdown: dict[str, float] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.kernel_name} on {self.device_name}: "
+            f"{self.mpoints_per_s:.1f} MPoint/s, {self.gflops:.1f} GFlop/s, "
+            f"load-eff {self.load_efficiency:.1%}, occ {self.occupancy.occupancy:.0%}, "
+            f"{self.stages} stage(s) x {self.active_blocks} blocks/SM"
+        )

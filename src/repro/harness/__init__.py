@@ -1,0 +1,39 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each ``fig*``/``table*`` function runs the corresponding experiment on the
+simulated devices and returns a structured result object with a
+``render()`` method producing the paper-style rows/series as text.  The
+``benchmarks/`` suite drives these under pytest-benchmark and asserts the
+reproduction's *shape* criteria.
+"""
+
+from repro.harness.runner import ExperimentRunner, tune_family
+from repro.harness.experiments import (
+    fig7_variants,
+    fig8_surface,
+    fig9_load_efficiency,
+    fig10_breakdown,
+    fig11_applications,
+    fig12_modelbased,
+    table1_specs,
+    table2_opcounts,
+    table3_devices,
+    table4_autotune,
+    high_order_crossover,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "tune_family",
+    "fig7_variants",
+    "fig8_surface",
+    "fig9_load_efficiency",
+    "fig10_breakdown",
+    "fig11_applications",
+    "fig12_modelbased",
+    "table1_specs",
+    "table2_opcounts",
+    "table3_devices",
+    "table4_autotune",
+    "high_order_crossover",
+]

@@ -1,0 +1,46 @@
+"""Export experiment results to CSV / JSON."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.harness.experiments import ExperimentResult
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render an experiment as CSV text (header row + data rows)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(result.headers)
+    writer.writerows(result.rows)
+    return buf.getvalue()
+
+
+def to_json(result: ExperimentResult) -> str:
+    """Render an experiment as a JSON document."""
+    return json.dumps(
+        {
+            "name": result.name,
+            "headers": list(result.headers),
+            "rows": [list(row) for row in result.rows],
+            "notes": result.notes,
+        },
+        indent=2,
+        default=str,
+    )
+
+
+def write_result(result: ExperimentResult, path: str | Path) -> Path:
+    """Write a result to ``path``; format chosen by suffix (.csv/.json/.txt)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        text = to_csv(result)
+    elif path.suffix == ".json":
+        text = to_json(result)
+    else:
+        text = result.render() + "\n"
+    path.write_text(text)
+    return path

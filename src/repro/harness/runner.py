@@ -1,0 +1,112 @@
+"""Shared experiment plumbing.
+
+The paper's evaluation methodology (section IV): a 512 x 512 x 256 test
+grid; each variant tuned for its own best configuration before comparison;
+*nvstencil* tuned over thread-block sizes only (the SDK baseline has no
+register tiling — register-blocked nvstencil appears only as case (i) of
+the Fig 10 breakdown); in-plane variants tuned over all four blocking
+factors where the experiment says so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.kernels.base import KernelPlan
+from repro.kernels.config import BlockConfig
+from repro.kernels.factory import make_kernel
+from repro.stencils.spec import SymmetricStencil, symmetric
+from repro.tuning.exhaustive import exhaustive_tune
+from repro.tuning.result import TuneResult
+from repro.tuning.space import ParameterSpace
+
+#: The paper's evaluation grid (section IV-B).
+PAPER_GRID: tuple[int, int, int] = (512, 512, 256)
+
+#: Search space for experiments that tune thread blocking only (Fig 7).
+THREAD_ONLY_SPACE = ParameterSpace(rx_values=(1,), ry_values=(1,))
+
+#: Full search space (Table IV, Figs 8, 10, 12).
+FULL_SPACE = ParameterSpace()
+
+
+@dataclass(frozen=True)
+class TuneKey:
+    """Cache key for one tuning run."""
+
+    family: str
+    order: int
+    dtype: str
+    device: str
+    grid: tuple[int, int, int]
+    register_blocking: bool
+
+
+_CACHE: dict[TuneKey, TuneResult] = {}
+
+
+def tune_family(
+    family: str,
+    order: int,
+    device: DeviceSpec | str,
+    *,
+    dtype: str = "sp",
+    grid: tuple[int, int, int] = PAPER_GRID,
+    register_blocking: bool = True,
+) -> TuneResult:
+    """Tune one kernel family; results are memoized per process.
+
+    ``register_blocking=False`` restricts the space to RX = RY = 1
+    (thread blocking only), which is how the nvstencil baseline and the
+    Fig 7 comparison are tuned.
+    """
+    dev = get_device(device) if isinstance(device, str) else device
+    key = TuneKey(family, order, dtype, dev.name, grid, register_blocking)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    spec = symmetric(order)
+
+    def build(cfg: BlockConfig) -> KernelPlan:
+        return make_kernel(family, spec, cfg, dtype)
+
+    space = FULL_SPACE if register_blocking else THREAD_ONLY_SPACE
+    result = exhaustive_tune(build, dev, grid, space)
+    _CACHE[key] = result
+    return result
+
+
+class ExperimentRunner:
+    """Convenience wrapper binding a device list and grid."""
+
+    def __init__(
+        self,
+        devices: tuple[str, ...] = ("gtx580", "gtx680", "c2070"),
+        grid: tuple[int, int, int] = PAPER_GRID,
+    ) -> None:
+        self.devices = tuple(get_device(d) for d in devices)
+        self.grid = grid
+
+    def baseline(self, order: int, device: DeviceSpec, dtype: str = "sp") -> TuneResult:
+        """Tuned nvstencil baseline (thread blocking only)."""
+        return tune_family(
+            "nvstencil", order, device, dtype=dtype, grid=self.grid,
+            register_blocking=False,
+        )
+
+    def tuned(
+        self,
+        family: str,
+        order: int,
+        device: DeviceSpec,
+        dtype: str = "sp",
+        register_blocking: bool = True,
+    ) -> TuneResult:
+        """Tuned result for any family."""
+        return tune_family(
+            family, order, device, dtype=dtype, grid=self.grid,
+            register_blocking=register_blocking,
+        )

@@ -1,0 +1,45 @@
+"""Kernel plans: the paper's stencil kernel variants.
+
+Each kernel plan couples (a) a numerically exact execution of one sweep
+(validated against :mod:`repro.stencils.reference`) with (b) a mechanical
+description of its per-plane global-memory access pattern, shared-memory
+traffic, register footprint and instruction mix, which the GPU simulator
+prices.  The variants:
+
+* :mod:`repro.kernels.nvstencil` — the 2.5-D forward-plane baseline
+  (Nvidia SDK ``FDTD3d``-style), section III-B.
+* :mod:`repro.kernels.inplane` — the paper's contribution: in-plane
+  loading with the *classical*, *vertical*, *horizontal* and *full-slice*
+  variants of Fig 6, with memory-level parallelism (vector loads) and
+  register tiling.
+* :mod:`repro.kernels.naive` — no-reuse global-memory kernel (context).
+* :mod:`repro.kernels.blocking3d` — full 3D blocking (section III-B).
+* :mod:`repro.kernels.multigrid` — forward-plane and in-plane kernels for
+  general multi-grid application stencils (section V).
+"""
+
+from repro.kernels.config import BlockConfig
+from repro.kernels.layout import GridLayout
+from repro.kernels.base import KernelPlan
+from repro.kernels.nvstencil import NvStencilKernel
+from repro.kernels.inplane import InPlaneKernel, INPLANE_VARIANTS
+from repro.kernels.naive import NaiveKernel
+from repro.kernels.blocking3d import Blocking3DKernel
+from repro.kernels.temporal import TemporalInPlaneKernel
+from repro.kernels.multigrid import MultiGridKernel
+from repro.kernels.factory import make_kernel, KERNEL_FAMILIES
+
+__all__ = [
+    "BlockConfig",
+    "GridLayout",
+    "KernelPlan",
+    "NvStencilKernel",
+    "InPlaneKernel",
+    "INPLANE_VARIANTS",
+    "NaiveKernel",
+    "Blocking3DKernel",
+    "TemporalInPlaneKernel",
+    "MultiGridKernel",
+    "make_kernel",
+    "KERNEL_FAMILIES",
+]

@@ -1,0 +1,82 @@
+"""Kernel factory: build any variant by name.
+
+The harness, tuner and CLI identify kernels by a family string:
+
+* ``"nvstencil"`` — forward-plane 2.5-D baseline
+* ``"inplane_classical" / "inplane_vertical" / "inplane_horizontal" /
+  "inplane_fullslice"`` — the Fig 6 variants
+* ``"naive"`` — unblocked global-memory kernel
+* ``"blocking3d"`` — full 3D blocking
+* ``"temporal"`` — ghost-zone temporal blocking on top of full-slice
+  (extension; pass ``time_steps=``)
+* ``"texture"`` — read-only-cache path, no shared memory (extension)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.kernels.blocking3d import Blocking3DKernel
+from repro.kernels.config import BlockConfig
+from repro.kernels.inplane import INPLANE_VARIANTS, InPlaneKernel
+from repro.kernels.naive import NaiveKernel
+from repro.kernels.nvstencil import NvStencilKernel
+from repro.kernels.temporal import TemporalInPlaneKernel
+from repro.kernels.texture import TexturePathKernel
+from repro.kernels.symmetric import SymmetricKernelPlan
+from repro.stencils.spec import SymmetricStencil, symmetric
+
+
+def _inplane_builder(variant: str) -> Callable[..., SymmetricKernelPlan]:
+    def build(
+        spec: SymmetricStencil, block: BlockConfig, dtype: str = "sp", **kw
+    ) -> SymmetricKernelPlan:
+        return InPlaneKernel(spec, block, dtype, variant=variant, **kw)
+
+    return build
+
+
+KERNEL_FAMILIES: dict[str, Callable[..., SymmetricKernelPlan]] = {
+    "nvstencil": NvStencilKernel,
+    "naive": NaiveKernel,
+    "blocking3d": Blocking3DKernel,
+    "temporal": TemporalInPlaneKernel,
+    "texture": TexturePathKernel,
+    **{f"inplane_{v}": _inplane_builder(v) for v in INPLANE_VARIANTS},
+}
+
+
+def make_kernel(
+    family: str,
+    spec: SymmetricStencil | int,
+    block: BlockConfig | tuple[int, ...],
+    dtype: str = "sp",
+    **kwargs,
+) -> SymmetricKernelPlan:
+    """Build a symmetric-stencil kernel plan.
+
+    Parameters
+    ----------
+    family:
+        One of :data:`KERNEL_FAMILIES`.
+    spec:
+        A :class:`SymmetricStencil` or a stencil order (built with default
+        coefficients).
+    block:
+        A :class:`BlockConfig` or a (TX, TY[, RX, RY]) tuple.
+    dtype:
+        ``"sp"`` or ``"dp"``.
+    """
+    try:
+        builder = KERNEL_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(KERNEL_FAMILIES))
+        raise ConfigurationError(
+            f"unknown kernel family {family!r}; known: {known}"
+        ) from None
+    if isinstance(spec, int):
+        spec = symmetric(spec)
+    if not isinstance(block, BlockConfig):
+        block = BlockConfig(*block)
+    return builder(spec, block, dtype, **kwargs)

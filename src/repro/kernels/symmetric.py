@@ -1,0 +1,99 @@
+"""Shared machinery for symmetric-stencil kernel plans.
+
+Both the forward-plane baseline and the in-plane variants operate on one
+input grid with the Eqn (1) stencil; they share store traffic, the
+shared-memory tile, the per-plane shared-memory instruction profile and
+the grid workload.  What differs — and what the subclasses define — is the
+*load* pattern, the flop count and the per-element register state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.arch import WARP_SIZE
+from repro.gpusim.memory import KIND_WRITE, MemoryStats
+from repro.gpusim.smem import SmemAccessProfile
+from repro.kernels.base import KernelPlan
+from repro.kernels.config import BlockConfig
+from repro.kernels.layout import GridLayout
+from repro.kernels.loads import add_row_region
+from repro.stencils.spec import SymmetricStencil
+
+
+class SymmetricKernelPlan(KernelPlan):
+    """Base for kernels computing one symmetric Eqn (1) stencil."""
+
+    def __init__(
+        self, spec: SymmetricStencil, block: BlockConfig, dtype: str = "sp"
+    ) -> None:
+        super().__init__(block, dtype)
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{self.family}.{self.variant}"
+            f"[order{self.spec.order},{self.dtype_name}]{self.block.label()}"
+        )
+
+    def halo_radius(self) -> int:
+        return self.spec.radius
+
+    # ------------------------------------------------------------------
+    # Shared traffic pieces
+    # ------------------------------------------------------------------
+    def add_store_traffic(self, stats: MemoryStats, layout: GridLayout) -> None:
+        """Output writes: one coalesced row region of the effective tile.
+
+        Register-tiled threads write with indices strided by the thread
+        count (section III-C-3), which keeps every store row contiguous.
+        """
+        add_row_region(
+            stats,
+            layout,
+            x_start_rel=0,
+            width_elems=self.block.tile_x,
+            rows=self.block.tile_y,
+            tile_stride=self.block.tile_x,
+            kind=KIND_WRITE,
+            use_vectors=False,
+        )
+
+    def loaded_elems_per_plane(self) -> int:
+        """Elements staged through shared memory per plane (tile + halos).
+
+        Variants that over-fetch (full-slice corners) override this.
+        """
+        r = self.spec.radius
+        tx, ty = self.block.tile_x, self.block.tile_y
+        return (tx + 2 * r) * (ty + 2 * r) - 4 * r * r
+
+    def smem_profile(self) -> SmemAccessProfile:
+        """Per-plane shared-memory instructions.
+
+        Every loaded element is written to the tile once; the compute phase
+        reads the 4r+1 in-plane cross per output element (z-neighbours
+        live in registers for both methods).
+        """
+        r = self.spec.radius
+        writes = self.loaded_elems_per_plane() / WARP_SIZE
+        reads = self.block.points_per_plane * (4 * r + 1) / WARP_SIZE
+        return SmemAccessProfile(
+            read_instructions=int(reads),
+            write_instructions=int(writes),
+            conflict_factor=1.0,
+        )
+
+    def smem_bytes(self) -> int:
+        """Shared tile footprint (effective tile + halos, padded pitch)."""
+        r = self.spec.radius
+        return self.smem_tile_bytes(r, r)
+
+    # ------------------------------------------------------------------
+    # Numeric helpers
+    # ------------------------------------------------------------------
+    def prepare_grid(self, grid: np.ndarray) -> np.ndarray:
+        """Cast the input to this kernel's dtype without copying when
+        already correct."""
+        return np.asarray(grid, dtype=self.dtype)

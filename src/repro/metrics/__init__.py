@@ -1,0 +1,15 @@
+"""Performance metrics and unit conversions."""
+
+from repro.metrics.efficiency import (
+    mpoints_to_gflops,
+    gflops_to_mpoints,
+    speedup,
+    bandwidth_bound_mpoints,
+)
+
+__all__ = [
+    "mpoints_to_gflops",
+    "gflops_to_mpoints",
+    "speedup",
+    "bandwidth_bound_mpoints",
+]

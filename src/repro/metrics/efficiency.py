@@ -1,0 +1,45 @@
+"""Metric conversions used throughout the harness.
+
+The paper reports MPoint/s for its own results and GFlop/s when comparing
+with prior work (section V-B); these helpers keep the conversion in one
+place, parameterized by the flops-per-point of the formulation being
+credited.
+"""
+
+from __future__ import annotations
+
+
+def mpoints_to_gflops(mpoints_per_s: float, flops_per_point: float) -> float:
+    """Convert a point rate to a flop rate."""
+    if mpoints_per_s < 0:
+        raise ValueError("rate must be non-negative")
+    return mpoints_per_s * 1e6 * flops_per_point / 1e9
+
+
+def gflops_to_mpoints(gflops: float, flops_per_point: float) -> float:
+    """Convert a flop rate to a point rate."""
+    if flops_per_point <= 0:
+        raise ValueError("flops_per_point must be positive")
+    return gflops * 1e9 / flops_per_point / 1e6
+
+
+def speedup(candidate_mpoints: float, baseline_mpoints: float) -> float:
+    """Candidate over baseline; the paper's headline ratio."""
+    if baseline_mpoints <= 0:
+        raise ValueError("baseline rate must be positive")
+    return candidate_mpoints / baseline_mpoints
+
+
+def bandwidth_bound_mpoints(
+    bandwidth_gbs: float, bytes_per_point: float
+) -> float:
+    """Roofline: the point rate a pure-bandwidth kernel could reach.
+
+    Useful for sanity-checking simulated results: a perfectly-streaming
+    order-2 SP stencil moves ~8 bytes per point (one read, one write), so
+    161 GB/s caps it at ~20e3 MPoint/s — the paper's best measured
+    17294 MPoint/s is ~86% of that roofline.
+    """
+    if bytes_per_point <= 0:
+        raise ValueError("bytes_per_point must be positive")
+    return bandwidth_gbs * 1e9 / bytes_per_point / 1e6

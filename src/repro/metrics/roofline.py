@@ -1,0 +1,106 @@
+"""Roofline analysis of kernel configurations.
+
+Classifies a kernel configuration on a device as bandwidth- or
+compute-bound and reports how close the simulated result comes to the
+binding ceiling.  The paper reasons this way implicitly — "the 2nd order
+SP stencil is bandwidth-limited" (section V-B), DP high orders hit the
+GTX680's 1/24 DP throughput — and this module makes the reasoning a
+queryable object (used by the autotune example and the analysis tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.executor import simulate
+from repro.gpusim.report import SimReport
+from repro.kernels.base import KernelPlan
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel configuration placed on a device's roofline.
+
+    Attributes
+    ----------
+    arithmetic_intensity:
+        Flops per byte actually moved (post-L2-model, per plane).
+    ridge_intensity:
+        The device's peak-flops / bandwidth ridge point (flops/byte).
+    bandwidth_bound:
+        True when the configuration sits left of the ridge.
+    ceiling_mpoints:
+        MPoint/s the binding roof permits for this kernel's per-point
+        costs.
+    achieved_mpoints / efficiency:
+        The simulated rate and its fraction of the ceiling.
+    """
+
+    arithmetic_intensity: float
+    ridge_intensity: float
+    bandwidth_bound: bool
+    ceiling_mpoints: float
+    achieved_mpoints: float
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the binding ceiling, in (0, 1]."""
+        if self.ceiling_mpoints <= 0:
+            return 0.0
+        return min(1.0, self.achieved_mpoints / self.ceiling_mpoints)
+
+    def summary(self) -> str:
+        bound = "bandwidth" if self.bandwidth_bound else "compute"
+        return (
+            f"{bound}-bound: AI {self.arithmetic_intensity:.2f} flop/B "
+            f"(ridge {self.ridge_intensity:.2f}), "
+            f"{self.achieved_mpoints:.0f} of {self.ceiling_mpoints:.0f} MPt/s "
+            f"ceiling ({self.efficiency:.0%})"
+        )
+
+
+def roofline(
+    plan: KernelPlan,
+    device: DeviceSpec,
+    grid_shape: tuple[int, int, int],
+    report: SimReport | None = None,
+) -> RooflinePoint:
+    """Place ``plan`` on ``device``'s roofline for ``grid_shape``.
+
+    ``report`` may be passed to reuse an existing simulation; otherwise
+    one sweep is simulated.
+    """
+    from repro.gpusim.timing import time_kernel
+
+    workload = plan.block_workload(device, grid_shape)
+    rep = report or simulate(plan, device, grid_shape)
+
+    # Price bytes the way the memory system does: after L2 halo reuse and
+    # including the partition-camping surcharge — otherwise cached kernels
+    # would "beat" a transferred-bytes roofline.
+    timing = time_kernel(workload, plan.grid_workload(device, grid_shape), device)
+    bytes_per_plane = timing.effective_bytes_per_plane
+    flops_per_plane = workload.points_per_plane * workload.flops_per_point
+    intensity = flops_per_plane / bytes_per_plane if bytes_per_plane else float("inf")
+
+    peak_flops = (
+        device.peak_sp_gflops if workload.elem_bytes == 4 else device.peak_dp_gflops
+    ) * 1e9
+    bw = device.measured_bandwidth_gbs * 1e9
+    ridge = peak_flops / bw
+
+    bytes_per_point = bytes_per_plane / workload.points_per_plane
+    flops_per_point = workload.flops_per_point
+    bw_ceiling = bw / bytes_per_point / 1e6
+    compute_ceiling = peak_flops / flops_per_point / 1e6
+
+    bandwidth_bound = intensity < ridge
+    ceiling = min(bw_ceiling, compute_ceiling)
+    return RooflinePoint(
+        arithmetic_intensity=intensity,
+        ridge_intensity=ridge,
+        bandwidth_bound=bandwidth_bound,
+        ceiling_mpoints=ceiling,
+        achieved_mpoints=rep.mpoints_per_s,
+    )

@@ -1,0 +1,59 @@
+"""Stencil definitions: symmetric Jacobi kernels and application stencils.
+
+* :mod:`repro.stencils.spec` — the paper's Eqn (1) family: symmetric,
+  nearest-neighbour 3D stencils of order 2r.
+* :mod:`repro.stencils.expr` — general multi-grid stencil expressions
+  (taps with constant or spatially-varying coefficients) used for the
+  application benchmarks of section V.
+* :mod:`repro.stencils.catalog` — Table I / Table II accounting.
+* :mod:`repro.stencils.applications` — Div, Grad, Hyperthermia, Upstream,
+  Laplacian and Poisson (Table V).
+* :mod:`repro.stencils.reference` — direct NumPy evaluation used as the
+  correctness oracle for every kernel variant.
+"""
+
+from repro.stencils.spec import SymmetricStencil, symmetric
+from repro.stencils.expr import Tap, OutputSpec, StencilExpr
+from repro.stencils.catalog import (
+    PAPER_ORDERS,
+    table1_row,
+    table2_row,
+    mem_refs_per_point,
+    flops_forward,
+    flops_inplane,
+)
+from repro.stencils.reference import apply_symmetric, apply_expr
+from repro.stencils.parser import parse_stencil
+from repro.stencils.applications import (
+    APPLICATIONS,
+    divergence,
+    gradient,
+    hyperthermia,
+    upstream,
+    laplacian,
+    poisson,
+)
+
+__all__ = [
+    "SymmetricStencil",
+    "symmetric",
+    "Tap",
+    "OutputSpec",
+    "StencilExpr",
+    "PAPER_ORDERS",
+    "table1_row",
+    "table2_row",
+    "mem_refs_per_point",
+    "flops_forward",
+    "flops_inplane",
+    "apply_symmetric",
+    "apply_expr",
+    "parse_stencil",
+    "APPLICATIONS",
+    "divergence",
+    "gradient",
+    "hyperthermia",
+    "upstream",
+    "laplacian",
+    "poisson",
+]

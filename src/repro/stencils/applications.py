@@ -1,0 +1,188 @@
+"""The six application stencils of section V (Table V).
+
+Reconstructed from the paper's descriptions and the Patus benchmark suite
+it cites (ref. [17]):
+
+* **Div** — 3D discrete divergence: maps a vector field (3 grids) to a
+  scalar via central differences.  3 in / 1 out.
+* **Grad** — 3D discrete gradient: maps a scalar to a vector field.
+  1 in / 3 out.
+* **Hyperthermia** — Pennes bioheat update used in hyperthermia cancer
+  treatment planning: a 7-point stencil on the temperature volume where
+  *every* weight is a spatially-varying coefficient volume, plus a source
+  volume and a perfusion volume — 9 coefficient grids out of 10 inputs,
+  which is exactly why section V-A finds the in-plane gain "offset by the
+  large amount of coefficient data".  10 in / 1 out.
+* **Upstream** — upwind-biased advection operator from weather-forecast
+  code: an asymmetric radius-2 stencil.  1 in / 1 out.
+* **Laplacian** — 3D discrete Laplacian (7-point).  1 in / 1 out.
+* **Poisson** — one Jacobi relaxation step for the 3D Poisson equation
+  lap(u) = f.  2 in / 1 out.
+"""
+
+from __future__ import annotations
+
+from repro.stencils.expr import OutputSpec, StencilExpr, Tap
+
+#: Grid spacing baked into the difference operators (unit lattice).
+_H = 1.0
+_INV2H = 1.0 / (2.0 * _H)
+_INVH2 = 1.0 / (_H * _H)
+
+
+def divergence() -> StencilExpr:
+    """Div: out = dU/dx + dV/dy + dW/dz, central differences.
+
+    Inputs: grid 0 = U, 1 = V, 2 = W.
+    """
+    taps = (
+        Tap(grid=0, offset=(1, 0, 0), coeff=_INV2H),
+        Tap(grid=0, offset=(-1, 0, 0), coeff=-_INV2H),
+        Tap(grid=1, offset=(0, 1, 0), coeff=_INV2H),
+        Tap(grid=1, offset=(0, -1, 0), coeff=-_INV2H),
+        Tap(grid=2, offset=(0, 0, 1), coeff=_INV2H),
+        Tap(grid=2, offset=(0, 0, -1), coeff=-_INV2H),
+    )
+    return StencilExpr(
+        name="div", n_grids=3, outputs=(OutputSpec(name="div", taps=taps),)
+    )
+
+
+def gradient() -> StencilExpr:
+    """Grad: (dF/dx, dF/dy, dF/dz) from one scalar field."""
+    def axis_out(axis: int, name: str) -> OutputSpec:
+        plus = [0, 0, 0]
+        plus[axis] = 1
+        minus = [0, 0, 0]
+        minus[axis] = -1
+        return OutputSpec(
+            name=name,
+            taps=(
+                Tap(grid=0, offset=(plus[0], plus[1], plus[2]), coeff=_INV2H),
+                Tap(grid=0, offset=(minus[0], minus[1], minus[2]), coeff=-_INV2H),
+            ),
+        )
+
+    return StencilExpr(
+        name="grad",
+        n_grids=1,
+        outputs=(axis_out(0, "gx"), axis_out(1, "gy"), axis_out(2, "gz")),
+    )
+
+
+def laplacian() -> StencilExpr:
+    """7-point 3D discrete Laplacian: out = (sum of 6 neighbours - 6u)/h^2."""
+    taps = [Tap(grid=0, offset=(0, 0, 0), coeff=-6.0 * _INVH2)]
+    for axis in range(3):
+        for sign in (-1, 1):
+            off = [0, 0, 0]
+            off[axis] = sign
+            taps.append(Tap(grid=0, offset=(off[0], off[1], off[2]), coeff=_INVH2))
+    return StencilExpr(
+        name="laplacian",
+        n_grids=1,
+        outputs=(OutputSpec(name="lap", taps=tuple(taps)),),
+    )
+
+
+def poisson() -> StencilExpr:
+    """One Jacobi step for the discrete Poisson equation lap(u) = f:
+    u' = (sum of the six neighbours - h^2 f) / 6.
+
+    Inputs: grid 0 = u, grid 1 = f.
+    """
+    sixth = 1.0 / 6.0
+    # u taps first: the output's primary grid is u, so the (untouched)
+    # boundary ring keeps u's boundary values — the Dirichlet data the
+    # Jacobi iteration needs.
+    taps = []
+    for axis in range(3):
+        for sign in (-1, 1):
+            off = [0, 0, 0]
+            off[axis] = sign
+            taps.append(Tap(grid=0, offset=(off[0], off[1], off[2]), coeff=sixth))
+    taps.append(Tap(grid=1, offset=(0, 0, 0), coeff=-(_H * _H) * sixth))
+    return StencilExpr(
+        name="poisson",
+        n_grids=2,
+        outputs=(OutputSpec(name="u_next", taps=tuple(taps)),),
+    )
+
+
+def hyperthermia() -> StencilExpr:
+    """Pennes bioheat update with spatially-varying tissue coefficients.
+
+    Inputs: grid 0 = temperature T; grids 1..7 = the centre weight and six
+    directional conduction weights (tissue-dependent volumes); grid 8 =
+    absorbed-power source; grid 9 = blood-perfusion coefficient (multiplies
+    T at the centre).  9 of the 10 inputs are coefficient volumes, matching
+    the paper's "9 out of the 11 grids are used for spatially varying
+    coefficients" accounting (10 in + 1 out = 11 grids touched per sweep).
+    """
+    taps = [
+        Tap(grid=0, offset=(0, 0, 0), coeff_grid=1),
+        Tap(grid=0, offset=(-1, 0, 0), coeff_grid=2),
+        Tap(grid=0, offset=(1, 0, 0), coeff_grid=3),
+        Tap(grid=0, offset=(0, -1, 0), coeff_grid=4),
+        Tap(grid=0, offset=(0, 1, 0), coeff_grid=5),
+        Tap(grid=0, offset=(0, 0, -1), coeff_grid=6),
+        Tap(grid=0, offset=(0, 0, 1), coeff_grid=7),
+        Tap(grid=8, offset=(0, 0, 0), coeff=1.0),
+        Tap(grid=0, offset=(0, 0, 0), coeff_grid=9),
+    ]
+    return StencilExpr(
+        name="hyperthermia",
+        n_grids=10,
+        outputs=(OutputSpec(name="t_next", taps=tuple(taps)),),
+    )
+
+
+def upstream() -> StencilExpr:
+    """Upwind-biased advection from weather-forecast code (asymmetric, r=2).
+
+    Third-order upwind differences biased against the flow direction on
+    each axis: per axis the taps reach two cells upwind and one cell
+    downwind, so the x/y/z halo extents are asymmetric — the property that
+    distinguishes this benchmark from the symmetric family.
+    """
+    # 3rd-order upwind weights for du/dx with positive advection speed:
+    # (2u[i+1] + 3u[i] - 6u[i-1] + u[i-2]) / (6h)
+    w_down, w_c, w_up1, w_up2 = 2.0 / 6.0, 3.0 / 6.0, -6.0 / 6.0, 1.0 / 6.0
+    advection = (0.08, 0.05, 0.03)  # per-axis advection speeds * dt
+    taps = [Tap(grid=0, offset=(0, 0, 0), coeff=1.0)]
+    for axis, speed in enumerate(advection):
+        for dist, w in ((1, w_down), (0, w_c), (-1, w_up1), (-2, w_up2)):
+            off = [0, 0, 0]
+            off[axis] = dist
+            taps.append(
+                Tap(grid=0, offset=(off[0], off[1], off[2]), coeff=-speed * w)
+            )
+    return StencilExpr(
+        name="upstream",
+        n_grids=1,
+        outputs=(OutputSpec(name="u_next", taps=tuple(taps)),),
+    )
+
+
+#: Registry in the paper's Table V order.
+APPLICATIONS: dict[str, StencilExpr] = {
+    expr.name: expr
+    for expr in (
+        divergence(),
+        gradient(),
+        hyperthermia(),
+        upstream(),
+        laplacian(),
+        poisson(),
+    )
+}
+
+#: Table V of the paper: (inputs, outputs) per application.
+PAPER_TABLE5: dict[str, tuple[int, int]] = {
+    "div": (3, 1),
+    "grad": (1, 3),
+    "hyperthermia": (10, 1),
+    "upstream": (1, 1),
+    "laplacian": (1, 1),
+    "poisson": (2, 1),
+}

@@ -1,0 +1,71 @@
+"""Boundary handling shared by reference and kernel execution.
+
+Array convention used throughout the library: grids are indexed
+``grid[z, y, x]`` so the x axis is contiguous in memory (the coalescing
+axis), while tap offsets and extents are written in ``(dx, dy, dz)`` order
+to match the paper's (i, j, k) notation.  The helpers here own that
+mapping so no other module repeats it.
+
+The paper's kernels (like the Nvidia FDTD3d sample they baseline against)
+compute only interior points where the full stencil extent is available;
+the boundary ring of width ``r`` per axis keeps its input values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GridShapeError
+
+#: Halo extent in (ex, ey, ez) order.
+Extent = tuple[int, int, int]
+
+
+def check_grid(grid: np.ndarray, extent: Extent) -> None:
+    """Validate that ``grid`` ([z, y, x]) is 3D and fits ``extent`` halos."""
+    if grid.ndim != 3:
+        raise GridShapeError(f"expected a 3D grid, got shape {grid.shape}")
+    ex, ey, ez = extent
+    lz, ly, lx = grid.shape
+    for axis_name, size, ext in (("x", lx, ex), ("y", ly, ey), ("z", lz, ez)):
+        if size < 2 * ext + 1:
+            raise GridShapeError(
+                f"grid {axis_name} axis has size {size}, needs >= {2 * ext + 1} "
+                f"for halo extent {ext}"
+            )
+
+
+def _axis_slice(ext: int, off: int = 0) -> slice:
+    if abs(off) > ext:
+        raise GridShapeError(f"tap offset {off} exceeds halo extent {ext}")
+    start = ext + off
+    stop = -ext + off
+    return slice(start, stop if stop != 0 else None)
+
+
+def interior(extent: Extent) -> tuple[slice, slice, slice]:
+    """Slices selecting the computed interior of a [z, y, x] grid."""
+    ex, ey, ez = extent
+    return (_axis_slice(ez), _axis_slice(ey), _axis_slice(ex))
+
+
+def shifted_interior(
+    offset: tuple[int, int, int], extent: Extent
+) -> tuple[slice, slice, slice]:
+    """Slices selecting the interior shifted by ``offset`` = (dx, dy, dz).
+
+    Pairing ``grid[shifted_interior(off, ext)]`` with ``out[interior(ext)]``
+    evaluates one tap without copying: both views have the interior shape.
+    """
+    dx, dy, dz = offset
+    ex, ey, ez = extent
+    return (_axis_slice(ez, dz), _axis_slice(ey, dy), _axis_slice(ex, dx))
+
+
+def with_boundary_from(
+    inp: np.ndarray, result_interior: np.ndarray, extent: Extent
+) -> np.ndarray:
+    """Assemble a full output grid: computed interior, input-valued ring."""
+    out = inp.copy()
+    out[interior(extent)] = result_interior
+    return out

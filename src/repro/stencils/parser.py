@@ -1,0 +1,304 @@
+"""A small textual stencil DSL, compiled to :class:`StencilExpr`.
+
+The auto-tuning frameworks the paper builds on (Patus [17], Physis [26])
+accept stencils as small domain-specific programs.  This parser provides
+the same front door for this library: a stencil definition is a set of
+assignments over named grids with constant-offset indices,
+
+    out[i,j,k] = 0.25 * u[i-1,j,k] + 0.25 * u[i+1,j,k]
+               + c[i,j,k] * u[i,j,k] - 2.0 * f[i,j,k]
+
+with the rules:
+
+* index variables are exactly ``i, j, k`` (x, y, z), each optionally
+  offset by an integer literal (``i-2``, ``k+1``);
+* every term is ``[coeff *] grid[indices]`` or
+  ``grid_a[i,j,k] * grid_b[indices]`` — a centre-sampled coefficient grid
+  times a tap (Hyperthermia-style);
+* grids named on the left become outputs, everything else inputs;
+* ``+``/``-`` combine terms; numeric literals fold into coefficients.
+
+``parse_stencil`` returns the :class:`StencilExpr` plus the input-grid
+name order, so callers know how to pass arrays to the kernels.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import StencilDefinitionError
+from repro.stencils.expr import OutputSpec, StencilExpr, Tap
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)"
+    r"|(?P<name>[A-Za-z_]\w*)"
+    r"|(?P<op>[\[\]+\-*,=()])"
+    r")"
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        m = _TOKEN_RE.match(text, pos)
+        if not m or m.start() != pos:
+            raise StencilDefinitionError(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        kind = m.lastgroup or "op"
+        tokens.append(_Token(kind=kind, text=m.group().strip(), pos=pos))
+        pos = m.end()
+    return tokens
+
+
+@dataclass(frozen=True)
+class _Ref:
+    """A parsed grid reference ``name[i+dx, j+dy, k+dz]``."""
+
+    grid: str
+    offset: tuple[int, int, int]
+
+    @property
+    def is_centre(self) -> bool:
+        return self.offset == (0, 0, 0)
+
+
+@dataclass(frozen=True)
+class _Term:
+    """One additive term: constant x (coeff grid)? x tap.
+
+    ``appearance`` preserves the textual order of the grid names so input
+    ordering follows the source.
+    """
+
+    constant: float
+    coeff_grid: str | None
+    ref: _Ref
+    appearance: tuple[str, ...] = ()
+
+
+class _Parser:
+    """Recursive-descent parser for one assignment's right-hand side."""
+
+    _AXES = {"i": 0, "j": 1, "k": 2}
+
+    def __init__(self, tokens: list[_Token], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.idx = 0
+
+    # -- token helpers -------------------------------------------------
+    def peek(self) -> _Token | None:
+        return self.tokens[self.idx] if self.idx < len(self.tokens) else None
+
+    def take(self, kind: str | None = None, text: str | None = None) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise StencilDefinitionError(
+                f"unexpected end of stencil expression: {self.source!r}"
+            )
+        if kind and tok.kind != kind or text and tok.text != text:
+            raise StencilDefinitionError(
+                f"expected {text or kind} at position {tok.pos}, got {tok.text!r}"
+            )
+        self.idx += 1
+        return tok
+
+    def at(self, text: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok.text == text
+
+    # -- grammar -------------------------------------------------------
+    def parse_ref(self) -> _Ref:
+        name = self.take("name").text
+        self.take(text="[")
+        offsets = [0, 0, 0]
+        for n in range(3):
+            axis_tok = self.take("name")
+            axis = self._AXES.get(axis_tok.text)
+            if axis != n:
+                raise StencilDefinitionError(
+                    f"indices must be i, j, k in order; got {axis_tok.text!r} "
+                    f"at position {axis_tok.pos}"
+                )
+            if self.at("+") or self.at("-"):
+                sign = -1 if self.take().text == "-" else 1
+                lit = self.take("number")
+                if "." in lit.text or "e" in lit.text.lower():
+                    raise StencilDefinitionError(
+                        f"index offsets must be integers, got {lit.text!r}"
+                    )
+                offsets[axis] = sign * int(lit.text)
+            if n < 2:
+                self.take(text=",")
+        self.take(text="]")
+        return _Ref(grid=name, offset=(offsets[0], offsets[1], offsets[2]))
+
+    def parse_term(self) -> _Term:
+        constant = 1.0
+        factors: list[_Ref] = []
+        while True:
+            tok = self.peek()
+            if tok is None:
+                break
+            if tok.kind == "number":
+                constant *= float(self.take("number").text)
+            elif tok.kind == "name":
+                factors.append(self.parse_ref())
+            else:
+                raise StencilDefinitionError(
+                    f"expected a factor at position {tok.pos}, got {tok.text!r}"
+                )
+            if self.at("*"):
+                self.take(text="*")
+                continue
+            break
+
+        if not factors:
+            raise StencilDefinitionError(
+                "every term must reference a grid (pure constants are not "
+                "stencil taps)"
+            )
+        appearance = tuple(f.grid for f in factors)
+        if len(factors) == 1:
+            return _Term(
+                constant=constant, coeff_grid=None, ref=factors[0],
+                appearance=appearance,
+            )
+        if len(factors) == 2:
+            centre = [f for f in factors if f.is_centre]
+            tap = [f for f in factors if f is not (centre[0] if centre else None)]
+            if not centre:
+                raise StencilDefinitionError(
+                    "a grid-times-grid term needs one centre-sampled "
+                    "coefficient grid (e.g. c[i,j,k] * u[i-1,j,k])"
+                )
+            return _Term(
+                constant=constant, coeff_grid=centre[0].grid, ref=tap[0],
+                appearance=appearance,
+            )
+        raise StencilDefinitionError(
+            "terms may multiply at most two grids (coefficient x tap)"
+        )
+
+    def parse_sum(self) -> list[_Term]:
+        terms: list[_Term] = []
+        sign = 1.0
+        if self.at("-"):
+            self.take()
+            sign = -1.0
+        elif self.at("+"):
+            self.take()
+        while True:
+            term = self.parse_term()
+            terms.append(
+                _Term(
+                    constant=sign * term.constant,
+                    coeff_grid=term.coeff_grid,
+                    ref=term.ref,
+                    appearance=term.appearance,
+                )
+            )
+            tok = self.peek()
+            if tok is None:
+                break
+            if tok.text in "+-":
+                sign = -1.0 if self.take().text == "-" else 1.0
+                continue
+            raise StencilDefinitionError(
+                f"expected + or - at position {tok.pos}, got {tok.text!r}"
+            )
+        return terms
+
+
+def parse_stencil(source: str, name: str = "parsed") -> tuple[StencilExpr, list[str]]:
+    """Parse a stencil definition into a :class:`StencilExpr`.
+
+    ``source`` is one or more assignments separated by newlines or
+    semicolons.  Returns the expression and the ordered input-grid names
+    (the order arrays must be passed to kernels and :func:`apply_expr`).
+    """
+    # Statements split on ';' and on newlines, but a line without '=' is a
+    # continuation of the previous statement (multi-line definitions).
+    statements: list[str] = []
+    for piece in re.split(r"[;\n]", source):
+        piece = piece.strip()
+        if not piece:
+            continue
+        if "=" in piece or not statements:
+            statements.append(piece)
+        else:
+            statements[-1] += " " + piece
+    if not statements:
+        raise StencilDefinitionError("empty stencil definition")
+
+    parsed: list[tuple[_Ref, list[_Term]]] = []
+    for stmt in statements:
+        if "=" not in stmt:
+            raise StencilDefinitionError(f"statement has no '=': {stmt!r}")
+        lhs_text, rhs_text = stmt.split("=", 1)
+        lhs_tokens = _tokenize(lhs_text)
+        lhs = _Parser(lhs_tokens, stmt).parse_ref()
+        if not lhs.is_centre:
+            raise StencilDefinitionError(
+                f"output reference must be centred: {lhs_text.strip()!r}"
+            )
+        rhs = _Parser(_tokenize(rhs_text), stmt).parse_sum()
+        parsed.append((lhs, rhs))
+
+    output_names = [lhs.grid for lhs, _ in parsed]
+    if len(set(output_names)) != len(output_names):
+        raise StencilDefinitionError("an output grid is assigned twice")
+
+    # Inputs are ordered by first textual appearance.
+    input_names: list[str] = []
+    for _, terms in parsed:
+        for term in terms:
+            for candidate in term.appearance:
+                if candidate and candidate not in input_names:
+                    if candidate in output_names:
+                        raise StencilDefinitionError(
+                            f"grid {candidate!r} is both input and output "
+                            "(Jacobi stencils are double-buffered)"
+                        )
+                    input_names.append(candidate)
+
+    index = {grid: g for g, grid in enumerate(input_names)}
+    outputs = []
+    for lhs, terms in parsed:
+        taps = tuple(
+            Tap(
+                grid=index[t.ref.grid],
+                offset=t.ref.offset,
+                coeff=t.constant if t.coeff_grid is None else None,
+                coeff_grid=index[t.coeff_grid] if t.coeff_grid else None,
+            )
+            if t.coeff_grid is None or t.constant == 1.0
+            else _scaled_coeff_tap(t, index)
+            for t in terms
+        )
+        outputs.append(OutputSpec(name=lhs.grid, taps=taps))
+
+    expr = StencilExpr(name=name, n_grids=len(input_names), outputs=tuple(outputs))
+    return expr, input_names
+
+
+def _scaled_coeff_tap(term: _Term, index: dict[str, int]) -> Tap:
+    """Coefficient-grid taps cannot carry an extra constant factor."""
+    raise StencilDefinitionError(
+        "a coefficient-grid term cannot also carry a constant factor "
+        f"(fold {term.constant!r} into the coefficient volume instead)"
+    )

@@ -1,0 +1,33 @@
+"""Auto-tuning: exhaustive search and the model-based acceleration.
+
+* :mod:`repro.tuning.space` — the (TX, TY, RX, RY) parameter space with
+  the paper's search constraints (i)-(iv) of section IV-C.
+* :mod:`repro.tuning.exhaustive` — run every feasible configuration on the
+  simulator; rank by measured MPoint/s.
+* :mod:`repro.tuning.perfmodel` — the paper's analytical performance model,
+  Eqns (6)-(14), implemented verbatim.
+* :mod:`repro.tuning.modelbased` — the section VI procedure: rank all
+  configurations by the model, execute only the top beta% on the
+  simulator, return the best measured one.
+"""
+
+from repro.tuning.space import ParameterSpace, default_space
+from repro.tuning.result import TuneEntry, TuneResult
+from repro.tuning.exhaustive import exhaustive_tune
+from repro.tuning.perfmodel import PaperModel, ModelInputs
+from repro.tuning.modelbased import model_based_tune
+from repro.tuning.stochastic import stochastic_tune
+from repro.tuning.cache import TuningCache
+
+__all__ = [
+    "ParameterSpace",
+    "default_space",
+    "TuneEntry",
+    "TuneResult",
+    "exhaustive_tune",
+    "PaperModel",
+    "ModelInputs",
+    "model_based_tune",
+    "stochastic_tune",
+    "TuningCache",
+]

@@ -1,0 +1,95 @@
+"""Persistent cache of tuning runs.
+
+Exhaustive tuning on real hardware is expensive (it is the whole
+motivation of the paper's section VI); on the simulator it is cheap but
+still worth caching across processes for the benchmark harness and CLI.
+The cache is a plain JSON file keyed by (family, order, dtype, device,
+grid, space signature).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.kernels.config import BlockConfig
+from repro.tuning.result import TuneEntry, TuneResult
+
+
+def _key(
+    family: str,
+    order: int,
+    dtype: str,
+    device: str,
+    grid: tuple[int, int, int],
+    space_sig: str,
+) -> str:
+    return f"{family}|{order}|{dtype}|{device}|{'x'.join(map(str, grid))}|{space_sig}"
+
+
+class TuningCache:
+    """JSON-file-backed store of best tuning results."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._data: dict[str, dict] = {}
+        if self.path.exists():
+            try:
+                self._data = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError):
+                # A corrupt cache is regenerated, never fatal.
+                self._data = {}
+
+    def get(
+        self,
+        family: str,
+        order: int,
+        dtype: str,
+        device: str,
+        grid: tuple[int, int, int],
+        space_sig: str = "default",
+    ) -> TuneResult | None:
+        """Return the cached result, or None."""
+        raw = self._data.get(_key(family, order, dtype, device, grid, space_sig))
+        if raw is None:
+            return None
+        entry = TuneEntry(
+            config=BlockConfig(*raw["config"]),
+            mpoints_per_s=raw["mpoints_per_s"],
+            predicted=raw.get("predicted"),
+            info=raw.get("info", {}),
+        )
+        return TuneResult(
+            best=entry,
+            entries=(entry,),
+            evaluated=raw["evaluated"],
+            space_size=raw["space_size"],
+            method=raw["method"],
+        )
+
+    def put(
+        self,
+        result: TuneResult,
+        family: str,
+        order: int,
+        dtype: str,
+        device: str,
+        grid: tuple[int, int, int],
+        space_sig: str = "default",
+    ) -> None:
+        """Store a result's best entry and flush to disk."""
+        self._data[_key(family, order, dtype, device, grid, space_sig)] = {
+            "config": list(result.best.config.as_tuple()),
+            "mpoints_per_s": result.best.mpoints_per_s,
+            "predicted": result.best.predicted,
+            "info": result.best.info,
+            "evaluated": result.evaluated,
+            "space_size": result.space_size,
+            "method": result.method,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(self._data, indent=1, default=str))
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,88 @@
+"""Exhaustive auto-tuning (section IV-C).
+
+Every feasible configuration is executed (on the simulator — the stand-in
+for the paper's timed CUDA launches) and ranked by measured MPoint/s.
+Configurations that cannot launch at all (a block exceeding the register
+file) are skipped, exactly as a real tuner skips launch failures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ResourceLimitError, TuningError
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.executor import DeviceExecutor
+from repro.kernels.base import KernelPlan
+from repro.kernels.config import BlockConfig
+from repro.tuning.result import TuneEntry, TuneResult
+from repro.tuning.space import ParameterSpace, default_space
+
+KernelBuilder = Callable[[BlockConfig], KernelPlan]
+
+
+def evaluate_configs(
+    build: KernelBuilder,
+    configs: list[BlockConfig],
+    device: DeviceSpec,
+    grid_shape: tuple[int, int, int],
+) -> list[TuneEntry]:
+    """Execute each configuration; unlaunchable ones are dropped."""
+    executor = DeviceExecutor(device)
+    entries: list[TuneEntry] = []
+    for cfg in configs:
+        try:
+            report = executor.run(build(cfg), grid_shape)
+        except ResourceLimitError:
+            continue
+        entries.append(
+            TuneEntry(
+                config=cfg,
+                mpoints_per_s=report.mpoints_per_s,
+                info={
+                    "load_efficiency": report.load_efficiency,
+                    "occupancy": report.occupancy.occupancy,
+                    "limiter": report.occupancy.limiter,
+                },
+            )
+        )
+    return entries
+
+
+def feasible_configs(
+    build: KernelBuilder,
+    device: DeviceSpec,
+    grid_shape: tuple[int, int, int],
+    space: ParameterSpace | None = None,
+) -> list[BlockConfig]:
+    """The constrained space for this kernel family on this device."""
+    space = space or default_space()
+
+    def smem_of(cfg: BlockConfig) -> int:
+        plan = build(cfg)
+        return plan.block_workload(device, grid_shape).smem_bytes
+
+    return space.feasible(device, grid_shape, smem_of)
+
+
+def exhaustive_tune(
+    build: KernelBuilder,
+    device: DeviceSpec,
+    grid_shape: tuple[int, int, int],
+    space: ParameterSpace | None = None,
+) -> TuneResult:
+    """Run the full feasible space; return the ranked result."""
+    configs = feasible_configs(build, device, grid_shape, space)
+    entries = evaluate_configs(build, configs, device, grid_shape)
+    if not entries:
+        raise TuningError(
+            f"no configuration could be launched on {device.name} for {grid_shape}"
+        )
+    entries.sort(key=lambda e: e.mpoints_per_s, reverse=True)
+    return TuneResult(
+        best=entries[0],
+        entries=tuple(entries),
+        evaluated=len(entries),
+        space_size=len(configs),
+        method="exhaustive",
+    )

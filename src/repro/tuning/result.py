@@ -1,0 +1,62 @@
+"""Tuning result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.kernels.config import BlockConfig
+
+
+@dataclass(frozen=True)
+class TuneEntry:
+    """One evaluated configuration."""
+
+    config: BlockConfig
+    mpoints_per_s: float
+    #: Model prediction, when a model participated (MPoint/s).
+    predicted: float | None = None
+    #: Extra diagnostics (occupancy, load efficiency, ...).
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one tuning run.
+
+    Attributes
+    ----------
+    best:
+        The winning entry (highest measured MPoint/s).
+    entries:
+        Every *measured* configuration, sorted best-first.
+    evaluated / space_size:
+        How many configurations were actually run vs. the feasible space
+        size — the model-based tuner's economy metric (section VI).
+    method:
+        ``"exhaustive"`` or ``"model"``.
+    """
+
+    best: TuneEntry
+    entries: tuple[TuneEntry, ...]
+    evaluated: int
+    space_size: int
+    method: str
+
+    @property
+    def best_config(self) -> BlockConfig:
+        """The winning (TX, TY, RX, RY)."""
+        return self.best.config
+
+    @property
+    def best_mpoints(self) -> float:
+        """The winning measured rate."""
+        return self.best.mpoints_per_s
+
+    def summary(self) -> str:
+        """One-line report in the paper's Table IV style."""
+        return (
+            f"{self.method}: best {self.best.config.label()} at "
+            f"{self.best.mpoints_per_s:.1f} MPoint/s "
+            f"({self.evaluated}/{self.space_size} configs executed)"
+        )

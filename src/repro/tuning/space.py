@@ -1,0 +1,97 @@
+"""The auto-tuner's parameter space (section IV-C).
+
+The search runs over (TX, TY, RX, RY) with the paper's constraints:
+
+ (i)   TX is a multiple of a half-warp (memory coalescing);
+ (ii)  TX * TY is within the device's thread-per-block limit;
+ (iii) the shared-memory buffer fits the per-SM limit;
+ (iv)  TY * RY divides the vertical grid size (and we apply the analogous
+       condition on TX * RX so no partial tiles exist).
+
+Feasibility additionally requires that one block actually fits an SM
+(register file); configurations that merely *spill* stay in the space —
+they run, just slowly — matching how a real tuner encounters them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, TuningError
+from repro.gpusim.arch import HALF_WARP
+from repro.gpusim.device import DeviceSpec
+from repro.kernels.config import BlockConfig
+
+#: Default candidate values, covering everything Table IV reports.
+DEFAULT_TX = (16, 32, 64, 128, 256, 512)
+DEFAULT_TY = (1, 2, 4, 8, 16, 32)
+DEFAULT_RX = (1, 2, 4)
+DEFAULT_RY = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """Candidate blocking factors plus the constraint context."""
+
+    tx_values: tuple[int, ...] = DEFAULT_TX
+    ty_values: tuple[int, ...] = DEFAULT_TY
+    rx_values: tuple[int, ...] = DEFAULT_RX
+    ry_values: tuple[int, ...] = DEFAULT_RY
+
+    def raw_size(self) -> int:
+        """Size of the unconstrained cross product."""
+        return (
+            len(self.tx_values)
+            * len(self.ty_values)
+            * len(self.rx_values)
+            * len(self.ry_values)
+        )
+
+    def candidates(self) -> Iterator[BlockConfig]:
+        """All cross-product configurations, unconstrained."""
+        for tx in self.tx_values:
+            for ty in self.ty_values:
+                for rx in self.rx_values:
+                    for ry in self.ry_values:
+                        yield BlockConfig(tx=tx, ty=ty, rx=rx, ry=ry)
+
+    def feasible(
+        self,
+        device: DeviceSpec,
+        grid_shape: tuple[int, int, int],
+        smem_bytes_of: "callable",
+    ) -> list[BlockConfig]:
+        """Configurations satisfying constraints (i)-(iv) on ``device``.
+
+        ``smem_bytes_of(config)`` returns the kernel's shared-memory
+        footprint for a candidate (it depends on the stencil radius, which
+        the space does not know).
+        """
+        lx, ly, _lz = grid_shape
+        out: list[BlockConfig] = []
+        for cfg in self.candidates():
+            if cfg.tx % HALF_WARP != 0:  # (i)
+                continue
+            if cfg.threads > device.max_threads_per_block:  # (ii)
+                continue
+            if ly % cfg.tile_y != 0 or cfg.tile_y > ly:  # (iv)
+                continue
+            if lx % cfg.tile_x != 0 or cfg.tile_x > lx:  # analogous on x
+                continue
+            try:
+                if smem_bytes_of(cfg) > device.smem_per_sm:  # (iii)
+                    continue
+            except ReproError:
+                continue
+            out.append(cfg)
+        if not out:
+            raise TuningError(
+                f"no feasible configuration for grid {grid_shape} on {device.name}"
+            )
+        return out
+
+
+def default_space() -> ParameterSpace:
+    """The space used by the paper-reproduction experiments."""
+    return ParameterSpace()

@@ -1,0 +1,146 @@
+"""Stochastic auto-tuning — the paper's "for a larger search space,
+methods like dynamic programming or stochastic search can be used".
+
+A simple, reproducible simulated-annealing walk over the feasible space:
+neighbours differ in one blocking factor by one step along that factor's
+candidate list; worse moves are accepted with a temperature-damped
+probability.  On the four-dimensional spaces of this paper the exhaustive
+search is cheap, so this tuner exists (a) as the scalable alternative the
+paper gestures at and (b) as a baseline the model-based tuner must beat
+at equal evaluation budgets (tested in ``tests/test_tuning_stochastic.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+from repro.errors import ResourceLimitError, TuningError
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.executor import DeviceExecutor
+from repro.kernels.base import KernelPlan
+from repro.kernels.config import BlockConfig
+from repro.tuning.exhaustive import feasible_configs
+from repro.tuning.result import TuneEntry, TuneResult
+from repro.tuning.space import ParameterSpace, default_space
+
+KernelBuilder = Callable[[BlockConfig], KernelPlan]
+
+
+def _neighbours(
+    cfg: BlockConfig, feasible: set[BlockConfig], space: ParameterSpace
+) -> list[BlockConfig]:
+    """Feasible configurations one candidate-list step away in one factor."""
+    axes = (
+        ("tx", space.tx_values),
+        ("ty", space.ty_values),
+        ("rx", space.rx_values),
+        ("ry", space.ry_values),
+    )
+    out = []
+    for name, values in axes:
+        current = getattr(cfg, name)
+        idx = values.index(current) if current in values else None
+        if idx is None:
+            continue
+        for step in (-1, 1):
+            j = idx + step
+            if 0 <= j < len(values):
+                candidate = BlockConfig(
+                    **{**{a: getattr(cfg, a) for a, _ in axes}, name: values[j]}
+                )
+                if candidate in feasible:
+                    out.append(candidate)
+    return out
+
+
+def stochastic_tune(
+    build: KernelBuilder,
+    device: DeviceSpec,
+    grid_shape: tuple[int, int, int],
+    *,
+    budget: int = 30,
+    seed: int = 0,
+    initial_temperature: float = 0.15,
+    space: ParameterSpace | None = None,
+) -> TuneResult:
+    """Simulated-annealing search executing at most ``budget`` configs.
+
+    Deterministic for a given ``seed``.  The returned
+    :class:`TuneResult` reports the best measured configuration and every
+    configuration actually executed, like the other tuners.
+    """
+    if budget < 1:
+        raise TuningError(f"budget must be >= 1, got {budget}")
+    space = space or default_space()
+    configs = feasible_configs(build, device, grid_shape, space)
+    feas = set(configs)
+    rng = random.Random(seed)
+    executor = DeviceExecutor(device)
+
+    measured: dict[BlockConfig, float] = {}
+
+    def measure(cfg: BlockConfig) -> float | None:
+        if cfg in measured:
+            return measured[cfg]
+        if len(measured) >= budget:
+            return None
+        try:
+            rate = executor.run(build(cfg), grid_shape).mpoints_per_s
+        except ResourceLimitError:
+            rate = 0.0
+        measured[cfg] = rate
+        return rate
+
+    current = rng.choice(configs)
+    current_rate = measure(current) or 0.0
+    best, best_rate = current, current_rate
+
+    step = 0
+    stale = 0
+    while len(measured) < budget:
+        step += 1
+        temperature = initial_temperature / (1.0 + 0.2 * step)
+        options = _neighbours(current, feas, space)
+        candidate = rng.choice(options) if options else rng.choice(configs)
+        if candidate in measured:
+            stale += 1
+            # Frozen at a local optimum whose whole neighbourhood has been
+            # measured: restart from a random *unmeasured* configuration so
+            # the budget is always spent (and the loop always terminates).
+            if stale > 8:
+                unmeasured = [c for c in configs if c not in measured]
+                if not unmeasured:
+                    break
+                candidate = rng.choice(unmeasured)
+                stale = 0
+        else:
+            stale = 0
+        rate = measure(candidate)
+        if rate is None:
+            break
+        if rate > best_rate:
+            best, best_rate = candidate, rate
+        # Metropolis acceptance on relative performance.
+        if rate >= current_rate:
+            current, current_rate = candidate, rate
+        else:
+            rel = (rate - current_rate) / max(current_rate, 1e-9)
+            if rng.random() < math.exp(rel / max(temperature, 1e-6)):
+                current, current_rate = candidate, rate
+
+    entries = tuple(
+        sorted(
+            (TuneEntry(config=c, mpoints_per_s=r) for c, r in measured.items()),
+            key=lambda e: e.mpoints_per_s,
+            reverse=True,
+        )
+    )
+    return TuneResult(
+        best=entries[0],
+        entries=entries,
+        evaluated=len(entries),
+        space_size=len(configs),
+        method="stochastic",
+    )

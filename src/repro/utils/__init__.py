@@ -1,0 +1,15 @@
+"""Small shared utilities: table formatting, maths helpers, serialization."""
+
+from repro.utils.tables import format_table, format_series
+from repro.utils.charts import bar_chart, grouped_bar_chart
+from repro.utils.maths import ceil_div, round_up, is_power_of_two
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "bar_chart",
+    "grouped_bar_chart",
+    "ceil_div",
+    "round_up",
+    "is_power_of_two",
+]

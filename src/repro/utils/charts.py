@@ -1,0 +1,83 @@
+"""ASCII bar charts for figure renders.
+
+The paper's figures are bar charts; the harness regenerates their data as
+tables, and these helpers add a visual rendering so the *shape* (who wins,
+where it declines) is visible straight from a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    unit: str = "",
+    baseline: float | None = None,
+    float_fmt: str = ".2f",
+) -> str:
+    """Render labelled horizontal bars scaled to the maximum value.
+
+    ``baseline`` draws a marker column at that value (e.g. 1.0 for
+    speedup charts), so bars crossing it read as wins.
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    if width < 4:
+        raise ValueError("width must be at least 4")
+    top = max(values.values())
+    if top <= 0:
+        raise ValueError("bar_chart needs a positive maximum")
+
+    label_w = max(len(k) for k in values)
+    marker_col = None
+    if baseline is not None and 0 < baseline <= top:
+        marker_col = round(baseline / top * width)
+
+    lines = [title]
+    for label, value in values.items():
+        if value < 0:
+            raise ValueError(f"bar values must be non-negative ({label!r})")
+        filled = round(value / top * width)
+        bar = list("#" * filled + " " * (width - filled))
+        if marker_col is not None and 0 < marker_col <= width:
+            idx = marker_col - 1
+            bar[idx] = "|" if bar[idx] == " " else "+"
+        lines.append(
+            f"  {label.ljust(label_w)} {''.join(bar)} "
+            f"{format(value, float_fmt)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 30,
+    baseline: float | None = None,
+    float_fmt: str = ".2f",
+) -> str:
+    """Render one bar block per group with one bar per series."""
+    if not groups or not series:
+        raise ValueError("grouped_bar_chart needs groups and series")
+    for name, vals in series.items():
+        if len(vals) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(vals)} values for {len(groups)} groups"
+            )
+    lines = [title]
+    for gi, group in enumerate(groups):
+        block = bar_chart(
+            f"{group}:",
+            {name: vals[gi] for name, vals in series.items()},
+            width=width,
+            baseline=baseline,
+            float_fmt=float_fmt,
+        )
+        lines.extend("  " + line for line in block.splitlines())
+    return "\n".join(lines)

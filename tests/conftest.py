@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import get_device
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for reproducible numeric tests."""
+    return np.random.default_rng(20130520)  # the paper's conference month
+
+
+@pytest.fixture(params=["gtx580", "gtx680", "c2070"])
+def paper_device(request):
+    """Each of the paper's three evaluation GPUs."""
+    return get_device(request.param)
+
+
+@pytest.fixture
+def gtx580():
+    return get_device("gtx580")
+
+
+def small_grid(rng: np.random.Generator, shape=(20, 24, 32), dtype=np.float32) -> np.ndarray:
+    """A random [z, y, x] grid big enough for order-12 stencils."""
+    return rng.random(shape).astype(dtype)

@@ -1,0 +1,141 @@
+"""Public-API surface and CLI tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self, rng):
+        """The README quickstart, executed."""
+        spec = repro.symmetric(order=4)
+        kern = repro.make_kernel("inplane_fullslice", spec, (32, 4, 1, 4))
+        g = rng.random((16, 32, 32)).astype(np.float32)
+        out = kern.execute(g)
+        ref = repro.apply_symmetric(spec, g)
+        np.testing.assert_allclose(out, ref, rtol=1e-4)
+
+        report = repro.simulate(kern, "gtx580", (512, 512, 256))
+        assert report.mpoints_per_s > 0
+
+    def test_autotune_exhaustive(self):
+        res = repro.autotune("inplane_fullslice", 2, "gtx580", grid_shape=(128, 128, 64))
+        assert res.method == "exhaustive"
+        assert res.best_mpoints > 0
+
+    def test_autotune_model(self):
+        res = repro.autotune(
+            "inplane_fullslice", 2, "gtx580", grid_shape=(128, 128, 64),
+            method="model", beta=0.1,
+        )
+        assert res.method == "model"
+
+    def test_autotune_unknown_method(self):
+        with pytest.raises(repro.TuningError):
+            repro.autotune("inplane_fullslice", 2, "gtx580", method="magic")
+
+    def test_error_hierarchy(self):
+        for exc in (
+            repro.ConfigurationError,
+            repro.ResourceLimitError,
+            repro.UnknownDeviceError,
+            repro.StencilDefinitionError,
+            repro.GridShapeError,
+            repro.TuningError,
+        ):
+            assert issubclass(exc, repro.ReproError)
+
+
+class TestCli:
+    def test_list_devices(self, capsys):
+        assert main(["list-devices"]) == 0
+        out = capsys.readouterr().out
+        assert "gtx580" in out and "gtx680" in out
+
+    def test_list_kernels(self, capsys):
+        assert main(["list-kernels"]) == 0
+        assert "inplane_fullslice" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        code = main([
+            "simulate", "--kernel", "inplane_fullslice", "--order", "4",
+            "--device", "gtx680", "--block", "32,4,1,2", "--grid", "256,256,64",
+        ])
+        assert code == 0
+        assert "MPoint/s" in capsys.readouterr().out
+
+    def test_tune_model(self, capsys):
+        code = main([
+            "tune", "--kernel", "inplane_fullslice", "--order", "2",
+            "--device", "gtx580", "--grid", "128,128,64", "--method", "model",
+        ])
+        assert code == 0
+        assert "model" in capsys.readouterr().out
+
+    def test_experiment_table(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiment_to_file(self, tmp_path, capsys):
+        out = tmp_path / "t2.csv"
+        assert main(["experiment", "table2", "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--version"])
+
+
+class TestCliExtensions:
+    def test_codegen_to_stdout(self, capsys):
+        assert main(["codegen", "--order", "2", "--block", "32,4,1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__" in out and "#define RADIUS 1" in out
+
+    def test_codegen_to_file_with_driver(self, tmp_path, capsys):
+        out = tmp_path / "k.cu"
+        code = main([
+            "codegen", "--order", "4", "--block", "32,4,1,4",
+            "--out", str(out), "--driver",
+        ])
+        assert code == 0
+        text = out.read_text()
+        assert "__global__" in text
+        assert "std::swap(d_in, d_out)" in text
+
+    def test_scaling_strong(self, capsys):
+        assert main(["scaling", "--gpus", "1,2", "--grid", "128,128,64",
+                     "--block", "32,4,1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "strong scaling" in out
+        assert "efficiency" in out
+
+    def test_scaling_weak(self, capsys):
+        assert main([
+            "scaling", "--gpus", "1,2", "--grid", "128,128,32", "--weak",
+            "--block", "32,4,1,2",
+        ]) == 0
+        assert "weak scaling" in capsys.readouterr().out
+
+    def test_profile_command(self, capsys):
+        assert main([
+            "profile", "--order", "4", "--block", "32,4,1,2",
+            "--grid", "256,256,64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "inplane_fullslice" in out
+        assert "nvstencil" in out
+        assert "camped" in out

@@ -1,0 +1,88 @@
+"""Iterative-loop driver (Fig 1) and metric-conversion tests."""
+
+import numpy as np
+import pytest
+
+from repro.driver import converged, iterate, residual
+from repro.kernels.config import BlockConfig
+from repro.kernels.factory import make_kernel
+from repro.metrics.efficiency import (
+    bandwidth_bound_mpoints,
+    gflops_to_mpoints,
+    mpoints_to_gflops,
+    speedup,
+)
+from repro.stencils.reference import iterate_symmetric
+from repro.stencils.spec import symmetric
+
+
+@pytest.fixture
+def plan():
+    return make_kernel("inplane_fullslice", symmetric(2), BlockConfig(32, 4))
+
+
+class TestIterate:
+    def test_fixed_steps_match_reference(self, plan, rng):
+        g = rng.random((10, 12, 14)).astype(np.float32)
+        out, steps = iterate(plan, g, steps=4)
+        assert steps == 4
+        ref = iterate_symmetric(symmetric(2), g.astype(np.float32), 4)
+        np.testing.assert_allclose(out, ref, rtol=1e-4)
+
+    def test_zero_steps(self, plan, rng):
+        g = rng.random((8, 8, 8)).astype(np.float32)
+        out, steps = iterate(plan, g, steps=0)
+        assert steps == 0
+        np.testing.assert_array_equal(out, g)
+
+    def test_convergence_criterion_stops_early(self, plan):
+        g = np.full((10, 10, 10), 2.0, dtype=np.float32)
+        g[5, 5, 5] = 2.001  # tiny perturbation diffuses away quickly
+        out, steps = iterate(plan, g, until=converged(1e-5), max_steps=500)
+        assert steps < 500
+        assert residual(out, plan.execute(out)) < 1e-5
+
+    def test_requires_some_stop_condition(self, plan, rng):
+        with pytest.raises(ValueError):
+            iterate(plan, rng.random((8, 8, 8)))
+
+    def test_steps_and_until_combined(self, plan, rng):
+        g = rng.random((8, 8, 8)).astype(np.float32)
+        _, steps = iterate(plan, g, steps=3, until=lambda a, b: False)
+        assert steps == 3
+
+    def test_converged_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            converged(0.0)
+
+    def test_residual_is_max_norm(self):
+        a = np.zeros((2, 2, 2))
+        b = np.zeros((2, 2, 2))
+        b[1, 1, 1] = 0.5
+        assert residual(a, b) == 0.5
+
+
+class TestMetrics:
+    def test_mpoints_gflops_roundtrip(self):
+        assert gflops_to_mpoints(mpoints_to_gflops(1000.0, 8), 8) == pytest.approx(1000.0)
+
+    def test_paper_conversion_example(self):
+        """Section V-B style: ~96 GFlop/s at 8 flops/pt = 12000 MPt/s."""
+        assert mpoints_to_gflops(12000.0, 8) == pytest.approx(96.0)
+
+    def test_speedup(self):
+        assert speedup(20.0, 10.0) == 2.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_bandwidth_roofline(self):
+        """The sanity anchor: order-2 SP at 8 B/pt on 161 GB/s ~ 20e3."""
+        assert bandwidth_bound_mpoints(161.0, 8.0) == pytest.approx(20125.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            mpoints_to_gflops(-1.0, 8)
+        with pytest.raises(ValueError):
+            gflops_to_mpoints(1.0, 0)
+        with pytest.raises(ValueError):
+            bandwidth_bound_mpoints(100.0, 0)

@@ -1,0 +1,92 @@
+"""Executor / SimReport tests."""
+
+import pytest
+
+from repro.gpusim.executor import DeviceExecutor, simulate
+from repro.kernels.config import BlockConfig
+from repro.kernels.factory import make_kernel
+from repro.stencils.spec import symmetric
+
+GRID = (256, 256, 64)
+
+
+@pytest.fixture
+def plan():
+    return make_kernel("inplane_fullslice", symmetric(2), BlockConfig(32, 4, 1, 4))
+
+
+class TestSimReport:
+    def test_fields_consistent(self, plan, gtx580):
+        rep = DeviceExecutor(gtx580).run(plan, GRID)
+        assert rep.device_name == "gtx580"
+        assert rep.kernel_name == plan.name
+        assert rep.time_s > 0
+        assert rep.total_cycles == pytest.approx(
+            rep.time_s * gtx580.clock_hz, rel=1e-9
+        )
+        volume = GRID[0] * GRID[1] * GRID[2]
+        assert rep.mpoints_per_s == pytest.approx(volume / rep.time_s / 1e6)
+
+    def test_gflops_matches_flop_count(self, plan, gtx580):
+        rep = simulate(plan, gtx580, GRID)
+        wl = plan.block_workload(gtx580, GRID)
+        assert rep.gflops == pytest.approx(
+            rep.mpoints_per_s * 1e6 * wl.flops_per_point / 1e9
+        )
+
+    def test_load_efficiency_in_unit_interval(self, plan, paper_device):
+        rep = simulate(plan, paper_device, GRID)
+        assert 0.0 < rep.load_efficiency <= 1.0
+
+    def test_bandwidth_below_measured(self, plan, paper_device):
+        rep = simulate(plan, paper_device, GRID)
+        assert 0 < rep.bandwidth_gbs <= paper_device.measured_bandwidth_gbs * 1.001
+
+    def test_device_by_name(self, plan):
+        rep = simulate(plan, "gtx680", GRID)
+        assert rep.device_name == "gtx680"
+
+    def test_summary_contains_key_numbers(self, plan, gtx580):
+        rep = simulate(plan, gtx580, GRID)
+        text = rep.summary()
+        assert "MPoint/s" in text and "gtx580" in text
+
+    def test_breakdown_keys(self, plan, gtx580):
+        rep = simulate(plan, gtx580, GRID)
+        for key in (
+            "mem_cycles_per_plane",
+            "compute_cycles_per_plane",
+            "exposed_cycles_per_plane",
+            "sync_cycles_per_plane",
+        ):
+            assert key in rep.breakdown
+
+    def test_meta_records_config(self, plan, gtx580):
+        rep = simulate(plan, gtx580, GRID)
+        assert rep.meta["grid_shape"] == GRID
+        assert rep.meta["dtype"] == "sp"
+
+
+class TestCrossDevice:
+    def test_gtx580_fastest_sp_order2(self, plan):
+        """Order-2 SP is bandwidth-bound: GTX580's higher measured
+        bandwidth should put it ahead of the C2070 (as in Table IV)."""
+        fast = simulate(plan, "gtx580", GRID)
+        slow = simulate(plan, "c2070", GRID)
+        assert fast.mpoints_per_s > slow.mpoints_per_s
+
+    def test_dp_slower_than_sp(self, gtx580):
+        sp = make_kernel("inplane_fullslice", symmetric(4), BlockConfig(32, 4), "sp")
+        dp = make_kernel("inplane_fullslice", symmetric(4), BlockConfig(32, 4), "dp")
+        assert (
+            simulate(dp, gtx580, GRID).mpoints_per_s
+            < simulate(sp, gtx580, GRID).mpoints_per_s
+        )
+
+    def test_higher_order_slower(self, gtx580):
+        lo = make_kernel("inplane_fullslice", symmetric(2), BlockConfig(32, 4))
+        hi = make_kernel("inplane_fullslice", symmetric(12), BlockConfig(32, 4))
+        assert (
+            simulate(hi, gtx580, GRID).mpoints_per_s
+            < simulate(lo, gtx580, GRID).mpoints_per_s
+        )

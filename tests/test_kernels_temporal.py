@@ -1,0 +1,100 @@
+"""Temporal-blocking (ghost zone) extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import get_device
+from repro.gpusim.executor import simulate
+from repro.kernels.config import BlockConfig
+from repro.kernels.temporal import TemporalInPlaneKernel
+from repro.stencils.reference import iterate_symmetric
+from repro.stencils.spec import symmetric
+
+GRID = (256, 256, 64)
+BLOCK = BlockConfig(32, 8, 1, 2)
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("steps", [1, 2, 3])
+    def test_fused_steps_equal_repeated_sweeps(self, steps, rng):
+        plan = TemporalInPlaneKernel(symmetric(2), BLOCK, time_steps=steps)
+        g = rng.random((12, 14, 16)).astype(np.float32)
+        out = plan.execute(g)
+        ref = iterate_symmetric(symmetric(2), g, steps)
+        np.testing.assert_allclose(out, ref, rtol=1e-4)
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ConfigurationError):
+            TemporalInPlaneKernel(symmetric(2), BLOCK, time_steps=0)
+
+
+class TestGeometry:
+    def test_ghost_width(self):
+        plan = TemporalInPlaneKernel(symmetric(4), BLOCK, time_steps=3)
+        assert plan.ghost() == 6
+
+    def test_t1_matches_fullslice_footprint(self):
+        from repro.kernels.inplane import InPlaneKernel
+
+        t1 = TemporalInPlaneKernel(symmetric(4), BLOCK, time_steps=1)
+        fs = InPlaneKernel(symmetric(4), BLOCK, variant="fullslice")
+        assert t1.loaded_elems_per_plane() == fs.loaded_elems_per_plane()
+        assert t1.compute_inflation() == pytest.approx(1.0)
+
+    def test_compute_inflation_grows_with_t(self):
+        vals = [
+            TemporalInPlaneKernel(symmetric(2), BLOCK, time_steps=t).compute_inflation()
+            for t in (1, 2, 3, 4)
+        ]
+        assert vals == sorted(vals)
+        assert vals[0] == pytest.approx(1.0)
+
+    def test_loads_amortize_per_sweep(self, gtx580):
+        """Per logical sweep, T=2 moves fewer global bytes than T=1."""
+        t1 = TemporalInPlaneKernel(symmetric(2), BLOCK, time_steps=1)
+        t2 = TemporalInPlaneKernel(symmetric(2), BLOCK, time_steps=2)
+        b1 = t1.block_workload(gtx580, GRID).memory.total_transferred_bytes
+        b2 = t2.block_workload(gtx580, GRID).memory.total_transferred_bytes
+        assert b2 / 2 < b1
+
+    def test_resources_grow_with_t(self, gtx580):
+        w1 = TemporalInPlaneKernel(symmetric(2), BLOCK, time_steps=1).block_workload(gtx580, GRID)
+        w3 = TemporalInPlaneKernel(symmetric(2), BLOCK, time_steps=3).block_workload(gtx580, GRID)
+        assert w3.regs_per_thread > w1.regs_per_thread
+        assert w3.smem_bytes > w1.smem_bytes
+
+
+class TestPerformanceShape:
+    def test_t2_wins_for_bandwidth_bound_stencil(self):
+        """The classic temporal-blocking result: fusing two sweeps of a
+        low-order SP stencil beats sweep-at-a-time on effective MPoint/s."""
+        dev = get_device("gtx580")
+        t1 = simulate(TemporalInPlaneKernel(symmetric(2), BLOCK, time_steps=1), dev, GRID)
+        t2 = simulate(TemporalInPlaneKernel(symmetric(2), BLOCK, time_steps=2), dev, GRID)
+        assert t2.mpoints_per_s > t1.mpoints_per_s
+
+    def test_gain_collapses_at_high_order(self):
+        """Ghost windows grow with r*T: at order 8, fusing two steps is
+        already worth less than at order 2 (or infeasible outright)."""
+        from repro.errors import ResourceLimitError
+
+        dev = get_device("gtx580")
+
+        def rate(order, t):
+            try:
+                return simulate(
+                    TemporalInPlaneKernel(symmetric(order), BLOCK, time_steps=t),
+                    dev, GRID,
+                ).mpoints_per_s
+            except ResourceLimitError:
+                return 0.0
+
+        gain_high = rate(8, 2) / rate(8, 1)
+        gain_low = rate(2, 2) / rate(2, 1)
+        assert gain_low > gain_high
+
+    def test_mpoints_counts_logical_sweeps(self, gtx580):
+        plan = TemporalInPlaneKernel(symmetric(2), BLOCK, time_steps=4)
+        gw = plan.grid_workload(gtx580, GRID)
+        assert gw.total_points == GRID[0] * GRID[1] * GRID[2] * 4

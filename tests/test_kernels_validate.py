@@ -1,0 +1,53 @@
+"""Tiling coverage validation tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kernels.config import BlockConfig
+from repro.kernels.validate import (
+    check_exact_cover,
+    divides_evenly,
+    halo_fits,
+    tile_origins,
+)
+
+
+class TestTileOrigins:
+    def test_count(self):
+        origins = tile_origins(64, 32, BlockConfig(16, 4, 2, 2))
+        assert len(origins) == 2 * 4
+
+    def test_first_origin_is_zero(self):
+        assert tile_origins(64, 64, BlockConfig(16, 16))[0] == (0, 0)
+
+
+class TestExactCover:
+    def test_exact_tiling(self):
+        check_exact_cover(64, 32, BlockConfig(16, 8))
+
+    def test_partial_tiles_still_cover_once(self):
+        check_exact_cover(50, 30, BlockConfig(16, 8))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lx=st.integers(1, 64),
+        ly=st.integers(1, 48),
+        tx=st.integers(1, 4).map(lambda v: 8 * v),
+        ty=st.integers(1, 8),
+        ry=st.integers(1, 4),
+    )
+    def test_cover_property(self, lx, ly, tx, ty, ry):
+        """Axis-aligned ceil tiling always covers each point exactly once."""
+        check_exact_cover(lx, ly, BlockConfig(tx, ty, 1, ry))
+
+
+class TestPredicates:
+    def test_divides_evenly(self):
+        assert divides_evenly(512, 512, BlockConfig(32, 4, 1, 4))
+        assert not divides_evenly(500, 512, BlockConfig(32, 4, 1, 4))
+
+    def test_halo_fits(self):
+        assert halo_fits(9, 9, 9, 4)
+        assert not halo_fits(8, 9, 9, 4)

@@ -1,0 +1,150 @@
+"""Application-stencil definitions (Table V) and their numerics."""
+
+import numpy as np
+import pytest
+
+from repro.stencils.applications import (
+    APPLICATIONS,
+    PAPER_TABLE5,
+    divergence,
+    gradient,
+    hyperthermia,
+    laplacian,
+    poisson,
+    upstream,
+)
+from repro.stencils.reference import apply_expr
+
+
+def coordinate_grids(shape=(10, 10, 10)):
+    """Return x, y, z coordinate arrays for [z, y, x] indexing."""
+    lz, ly, lx = shape
+    z, y, x = np.meshgrid(
+        np.arange(lz, dtype=np.float64),
+        np.arange(ly, dtype=np.float64),
+        np.arange(lx, dtype=np.float64),
+        indexing="ij",
+    )
+    return x, y, z
+
+
+class TestTable5:
+    """Grid counts must match the paper's Table V exactly."""
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE5))
+    def test_inputs_outputs(self, name):
+        expr = APPLICATIONS[name]
+        n_in, n_out = PAPER_TABLE5[name]
+        assert expr.n_grids == n_in
+        assert len(expr.outputs) == n_out
+
+    def test_registry_order(self):
+        assert list(APPLICATIONS) == [
+            "div", "grad", "hyperthermia", "upstream", "laplacian", "poisson",
+        ]
+
+    def test_hyperthermia_nine_coefficient_volumes(self):
+        """Section V-A: 9 of the grids are spatially varying coefficients."""
+        expr = hyperthermia()
+        assert len(expr.coefficient_grids()) == 9
+        assert expr.stenciled_grids() == [0]
+
+
+class TestGeometry:
+    def test_div_per_grid_axes(self):
+        expr = divergence()
+        assert expr.halo_extent(0) == (1, 0, 0)  # U: x derivative
+        assert expr.halo_extent(1) == (0, 1, 0)  # V: y derivative
+        assert expr.halo_extent(2) == (0, 0, 1)  # W: z derivative
+
+    def test_upstream_is_asymmetric_radius_2(self):
+        expr = upstream()
+        back, fwd = expr.z_extent(0)
+        assert (back, fwd) == (2, 1)
+        assert expr.radius() == 2
+
+    def test_laplacian_radius_1(self):
+        assert laplacian().radius() == 1
+
+    def test_poisson_rhs_is_coefficient_like(self):
+        expr = poisson()
+        assert expr.halo_extent(1) == (0, 0, 0)
+
+
+class TestNumerics:
+    def test_divergence_of_linear_field_is_constant(self):
+        """div(ax, by, cz) = a + b + c everywhere."""
+        x, y, z = coordinate_grids()
+        out = apply_expr(divergence(), [2.0 * x, 3.0 * y, 4.0 * z])[0]
+        np.testing.assert_allclose(out[1:-1, 1:-1, 1:-1], 9.0, rtol=1e-12)
+
+    def test_gradient_of_linear_field(self):
+        x, y, z = coordinate_grids()
+        f = 2.0 * x + 3.0 * y - 5.0 * z
+        gx, gy, gz = apply_expr(gradient(), [f])
+        inner = (slice(1, -1),) * 3
+        np.testing.assert_allclose(gx[inner], 2.0, rtol=1e-12)
+        np.testing.assert_allclose(gy[inner], 3.0, rtol=1e-12)
+        np.testing.assert_allclose(gz[inner], -5.0, rtol=1e-12)
+
+    def test_laplacian_of_harmonic_polynomial_is_zero(self):
+        """lap(x^2 - y^2) = 0 for the discrete 7-point operator too."""
+        x, y, z = coordinate_grids()
+        out = apply_expr(laplacian(), [x * x - y * y])[0]
+        inner = (slice(1, -1),) * 3
+        np.testing.assert_allclose(out[inner], 0.0, atol=1e-9)
+
+    def test_laplacian_of_quadratic(self):
+        x, _, _ = coordinate_grids()
+        out = apply_expr(laplacian(), [x * x])[0]
+        inner = (slice(1, -1),) * 3
+        np.testing.assert_allclose(out[inner], 2.0, rtol=1e-12)
+
+    def test_poisson_fixed_point(self, rng):
+        """If u solves the 7-point system exactly, one Jacobi step keeps it."""
+        x, y, z = coordinate_grids()
+        u = x * x + y * y + z * z
+        f = np.full_like(u, 6.0)  # lap(u) = 6
+        out = apply_expr(poisson(), [u, f])[0]
+        inner = (slice(1, -1),) * 3
+        np.testing.assert_allclose(out[inner], u[inner], rtol=1e-12)
+
+    def test_poisson_jacobi_reduces_residual(self, rng):
+        u = rng.random((10, 10, 10))
+        f = np.zeros_like(u)
+        expr = poisson()
+
+        def residual(v):
+            lap = apply_expr(laplacian(), [v])[0]
+            return float(np.abs(lap[2:-2, 2:-2, 2:-2]).max())
+
+        v = u
+        for _ in range(30):
+            v = apply_expr(expr, [v, f])[0]
+        assert residual(v) < residual(u)
+
+    def test_upstream_constant_field_fixed(self):
+        """Advection of a constant field changes nothing (weights of the
+        derivative part sum to zero)."""
+        g = np.full((10, 10, 10), 7.5)
+        out = apply_expr(upstream(), [g])[0]
+        np.testing.assert_allclose(out, g, rtol=1e-12)
+
+    def test_hyperthermia_matches_hand_evaluation(self, rng):
+        expr = hyperthermia()
+        grids = [rng.random((6, 6, 6)) for _ in range(10)]
+        out = apply_expr(expr, grids)[0]
+        t = grids[0]
+        z = y = x = 3
+        expected = (
+            grids[1][z, y, x] * t[z, y, x]
+            + grids[2][z, y, x] * t[z, y, x - 1]
+            + grids[3][z, y, x] * t[z, y, x + 1]
+            + grids[4][z, y, x] * t[z, y - 1, x]
+            + grids[5][z, y, x] * t[z, y + 1, x]
+            + grids[6][z, y, x] * t[z - 1, y, x]
+            + grids[7][z, y, x] * t[z + 1, y, x]
+            + grids[8][z, y, x]
+            + grids[9][z, y, x] * t[z, y, x]
+        )
+        assert out[z, y, x] == pytest.approx(expected, rel=1e-12)

@@ -1,0 +1,105 @@
+"""SymmetricStencil specification tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StencilDefinitionError
+from repro.stencils.spec import (
+    SymmetricStencil,
+    default_coefficients,
+    dtype_for,
+    symmetric,
+)
+
+
+class TestConstruction:
+    def test_radius(self):
+        assert symmetric(8).radius == 4
+
+    def test_extent_table1(self):
+        assert symmetric(2).extent == (3, 3, 3)
+        assert symmetric(12).extent == (13, 13, 13)
+
+    def test_rejects_odd_order(self):
+        with pytest.raises(StencilDefinitionError):
+            symmetric(3)
+
+    def test_rejects_non_positive(self):
+        for order in (0, -2):
+            with pytest.raises(StencilDefinitionError):
+                symmetric(order)
+
+    def test_rejects_wrong_coefficient_count(self):
+        with pytest.raises(StencilDefinitionError):
+            SymmetricStencil(order=4, coefficients=(1.0, 0.1))
+
+    def test_custom_coefficients(self):
+        spec = symmetric(2, coefficients=(0.4, 0.1))
+        assert spec.coefficients == (0.4, 0.1)
+
+
+class TestOperationCounts:
+    """The derived counts must match the closed forms of Tables I/II."""
+
+    @pytest.mark.parametrize("order", [2, 4, 6, 8, 10, 12])
+    def test_points(self, order):
+        assert symmetric(order).points == 6 * (order // 2) + 1
+
+    @pytest.mark.parametrize(
+        "order,refs,flops", [(2, 8, 8), (4, 14, 15), (6, 20, 22), (8, 26, 29)]
+    )
+    def test_table1_values(self, order, refs, flops):
+        spec = symmetric(order)
+        assert spec.mem_refs_per_point == refs
+        assert spec.flops_forward == flops
+
+    @pytest.mark.parametrize("order,flops", [(2, 9), (4, 17), (12, 49)])
+    def test_table2_inplane_flops(self, order, flops):
+        assert symmetric(order).flops_inplane == flops
+
+    @given(order=st.integers(1, 30).map(lambda r: 2 * r))
+    def test_inplane_costs_r_more_flops(self, order):
+        spec = symmetric(order)
+        assert spec.flops_inplane - spec.flops_forward == spec.radius
+
+
+class TestDefaultCoefficients:
+    @given(radius=st.integers(1, 20))
+    def test_weights_sum_to_one(self, radius):
+        coeffs = default_coefficients(radius)
+        total = coeffs[0] + 6 * sum(coeffs[1:])
+        assert total == pytest.approx(1.0)
+
+    @given(radius=st.integers(1, 20))
+    def test_all_weights_positive(self, radius):
+        assert all(c > 0 for c in default_coefficients(radius))
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(StencilDefinitionError):
+            default_coefficients(0)
+
+    def test_constant_field_is_fixed_point(self, rng):
+        """Weights summing to one keep a constant field constant —
+        the stability property iterative examples rely on."""
+        from repro.stencils.reference import apply_symmetric
+
+        spec = symmetric(4)
+        grid = np.full((12, 12, 12), 3.25, dtype=np.float64)
+        out = apply_symmetric(spec, grid)
+        np.testing.assert_allclose(out, grid, rtol=1e-12)
+
+
+class TestDtypeFor:
+    @pytest.mark.parametrize("name", ["sp", "float32", "single", "f4"])
+    def test_sp_names(self, name):
+        assert dtype_for(name) == np.dtype(np.float32)
+
+    @pytest.mark.parametrize("name", ["dp", "float64", "double", "f8"])
+    def test_dp_names(self, name):
+        assert dtype_for(name) == np.dtype(np.float64)
+
+    def test_unknown(self):
+        with pytest.raises(StencilDefinitionError):
+            dtype_for("fp16")

@@ -1,0 +1,69 @@
+"""Tuning-cache persistence tests."""
+
+import json
+
+from repro.kernels.config import BlockConfig
+from repro.tuning.cache import TuningCache
+from repro.tuning.result import TuneEntry, TuneResult
+
+
+def make_result() -> TuneResult:
+    entry = TuneEntry(
+        config=BlockConfig(32, 4, 1, 4),
+        mpoints_per_s=1234.5,
+        info={"occupancy": 0.5},
+    )
+    return TuneResult(
+        best=entry, entries=(entry,), evaluated=10, space_size=100, method="exhaustive"
+    )
+
+
+class TestCache:
+    def test_roundtrip(self, tmp_path):
+        cache = TuningCache(tmp_path / "cache.json")
+        cache.put(make_result(), "inplane_fullslice", 2, "sp", "gtx580", (64, 64, 32))
+        got = cache.get("inplane_fullslice", 2, "sp", "gtx580", (64, 64, 32))
+        assert got is not None
+        assert got.best_config == BlockConfig(32, 4, 1, 4)
+        assert got.best_mpoints == 1234.5
+        assert got.method == "exhaustive"
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = TuningCache(tmp_path / "cache.json")
+        assert cache.get("x", 2, "sp", "gtx580", (1, 1, 1)) is None
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "cache.json"
+        TuningCache(path).put(make_result(), "f", 4, "dp", "c2070", (8, 8, 8))
+        reloaded = TuningCache(path)
+        assert reloaded.get("f", 4, "dp", "c2070", (8, 8, 8)) is not None
+        assert len(reloaded) == 1
+
+    def test_distinct_keys_do_not_collide(self, tmp_path):
+        cache = TuningCache(tmp_path / "cache.json")
+        cache.put(make_result(), "f", 2, "sp", "gtx580", (8, 8, 8))
+        assert cache.get("f", 2, "dp", "gtx580", (8, 8, 8)) is None
+        assert cache.get("f", 2, "sp", "gtx680", (8, 8, 8)) is None
+        assert cache.get("f", 2, "sp", "gtx580", (8, 8, 16)) is None
+
+    def test_corrupt_file_regenerates(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        cache = TuningCache(path)
+        assert len(cache) == 0
+        cache.put(make_result(), "f", 2, "sp", "gtx580", (8, 8, 8))
+        assert json.loads(path.read_text())  # now valid
+
+    def test_overwrite_updates(self, tmp_path):
+        cache = TuningCache(tmp_path / "c.json")
+        cache.put(make_result(), "f", 2, "sp", "gtx580", (8, 8, 8))
+        better = TuneResult(
+            best=TuneEntry(config=BlockConfig(64, 4), mpoints_per_s=9999.0),
+            entries=(),
+            evaluated=1,
+            space_size=1,
+            method="model",
+        )
+        cache.put(better, "f", 2, "sp", "gtx580", (8, 8, 8))
+        got = cache.get("f", 2, "sp", "gtx580", (8, 8, 8))
+        assert got.best_mpoints == 9999.0

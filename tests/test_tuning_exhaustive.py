@@ -1,0 +1,69 @@
+"""Exhaustive tuner tests."""
+
+import pytest
+
+from repro.gpusim.device import get_device
+from repro.gpusim.executor import simulate
+from repro.kernels.factory import make_kernel
+from repro.stencils.spec import symmetric
+from repro.tuning.exhaustive import exhaustive_tune, feasible_configs
+from repro.tuning.space import ParameterSpace
+
+GRID = (256, 256, 128)
+SMALL_SPACE = ParameterSpace(
+    tx_values=(16, 32, 64), ty_values=(2, 4, 8), rx_values=(1, 2), ry_values=(1, 2)
+)
+
+
+def builder(order=2, dtype="sp"):
+    spec = symmetric(order)
+    return lambda cfg: make_kernel("inplane_fullslice", spec, cfg, dtype)
+
+
+class TestExhaustive:
+    def test_returns_ranked_entries(self, gtx580):
+        res = exhaustive_tune(builder(), gtx580, GRID, SMALL_SPACE)
+        rates = [e.mpoints_per_s for e in res.entries]
+        assert rates == sorted(rates, reverse=True)
+        assert res.method == "exhaustive"
+
+    def test_best_is_verifiable(self, gtx580):
+        """The reported best rate is exactly what simulating it gives."""
+        res = exhaustive_tune(builder(), gtx580, GRID, SMALL_SPACE)
+        plan = builder()(res.best_config)
+        assert simulate(plan, gtx580, GRID).mpoints_per_s == pytest.approx(
+            res.best_mpoints
+        )
+
+    def test_best_beats_every_other_entry(self, gtx580):
+        res = exhaustive_tune(builder(), gtx580, GRID, SMALL_SPACE)
+        assert all(res.best_mpoints >= e.mpoints_per_s for e in res.entries)
+
+    def test_evaluated_counts(self, gtx580):
+        res = exhaustive_tune(builder(), gtx580, GRID, SMALL_SPACE)
+        assert res.evaluated <= res.space_size
+        assert res.evaluated == len(res.entries)
+
+    def test_entries_carry_diagnostics(self, gtx580):
+        res = exhaustive_tune(builder(), gtx580, GRID, SMALL_SPACE)
+        assert "load_efficiency" in res.best.info
+        assert "occupancy" in res.best.info
+
+    def test_feasible_configs_shared_with_modelbased(self, gtx580):
+        configs = feasible_configs(builder(), gtx580, GRID, SMALL_SPACE)
+        assert len(configs) > 0
+
+    def test_summary_text(self, gtx580):
+        res = exhaustive_tune(builder(), gtx580, GRID, SMALL_SPACE)
+        assert "exhaustive" in res.summary()
+        assert res.best_config.label() in res.summary()
+
+    def test_per_device_results_differ(self):
+        a = exhaustive_tune(builder(), get_device("gtx580"), GRID, SMALL_SPACE)
+        b = exhaustive_tune(builder(), get_device("c2070"), GRID, SMALL_SPACE)
+        assert a.best_mpoints != b.best_mpoints
+
+    def test_dp_slower_than_sp(self, gtx580):
+        sp = exhaustive_tune(builder(dtype="sp"), gtx580, GRID, SMALL_SPACE)
+        dp = exhaustive_tune(builder(dtype="dp"), gtx580, GRID, SMALL_SPACE)
+        assert dp.best_mpoints < sp.best_mpoints

@@ -1,0 +1,124 @@
+"""Paper performance-model tests (Eqns (6)-(14))."""
+
+import math
+
+import pytest
+
+from repro.gpusim.device import get_device
+from repro.kernels.config import BlockConfig
+from repro.kernels.factory import make_kernel
+from repro.stencils.spec import symmetric
+from repro.tuning.perfmodel import ModelInputs, PaperModel
+
+GRID = (512, 512, 256)
+
+
+def inputs_for(cfg, order=2, dtype="sp", device="gtx580"):
+    dev = get_device(device)
+    plan = make_kernel("inplane_fullslice", symmetric(order), BlockConfig(*cfg), dtype)
+    return ModelInputs.from_plan(plan, dev, GRID)
+
+
+class TestEquations:
+    def test_eqn6_blocks(self):
+        m = inputs_for((32, 4, 1, 4))
+        blks = (m.lx * m.ly) / ((m.tx * m.rx) * (m.ty * m.ry))
+        assert blks == 512 * 512 / (32 * 16)
+
+    def test_eqn7_actblks_respects_all_limits(self):
+        dev = get_device("gtx580")
+        model = PaperModel(dev)
+        m = inputs_for((32, 4, 1, 4))
+        pred = model.predict(m)
+        assert pred.act_blks >= 1
+        assert pred.act_blks <= dev.max_blocks_per_sm
+        assert pred.act_blks * m.warp_blk <= dev.max_warps_per_sm
+        assert pred.act_blks * m.k_r * m.tx * m.ty <= dev.registers_per_sm
+
+    def test_eqn8_stages(self):
+        dev = get_device("gtx580")
+        pred = PaperModel(dev).predict(inputs_for((32, 4, 1, 4)))
+        blks = 512 * 512 / (32 * 16)
+        assert pred.stages == math.ceil(blks / (dev.sm_count * pred.act_blks))
+
+    def test_eqn9_remainder_bounded(self):
+        pred = PaperModel(get_device("gtx580")).predict(inputs_for((32, 4, 1, 4)))
+        assert 1 <= pred.rem_blks <= pred.act_blks
+
+    def test_eqn10_memory_time_components(self):
+        dev = get_device("gtx580")
+        m = inputs_for((32, 4, 1, 4))
+        pred = PaperModel(dev).predict(m)
+        bw_sm = dev.measured_bandwidth_gbs * 1e9 / dev.sm_count
+        expected = dev.dram_latency_cycles / dev.clock_hz + m.bytes_blk / bw_sm
+        assert pred.t_m == pytest.approx(expected)
+
+    def test_eqn11_compute_time(self):
+        dev = get_device("gtx580")
+        m = inputs_for((32, 4, 1, 4))
+        pred = PaperModel(dev).predict(m)
+        assert pred.t_c == pytest.approx(
+            m.ops * m.rx * m.ry * m.warp_blk / dev.clock_hz
+        )
+
+    def test_unlaunchable_predicts_zero(self):
+        dev = get_device("gtx580")
+        m = ModelInputs(
+            lx=512, ly=512, tx=1024, ty=1, rx=1, ry=1,
+            k_r=63, k_s=0, ops=8, bytes_blk=1.0,
+        )
+        assert PaperModel(dev).predict(m).mpoints_per_s == 0.0
+
+
+class TestModelBehaviour:
+    def test_k_r_capped_at_architecture(self):
+        m = inputs_for((32, 4, 4, 8), order=8)
+        dev = get_device("gtx580")
+        assert m.k_r <= dev.rules.max_regs_per_thread
+
+    def test_spills_charged_as_bytes(self):
+        small = inputs_for((32, 4, 1, 1), order=8)
+        monster = inputs_for((32, 4, 4, 8), order=8)
+        per_point_small = small.bytes_blk / (32 * 4)
+        per_point_big = monster.bytes_blk / (32 * 4 * 32)
+        assert per_point_big > per_point_small
+
+    def test_more_bandwidth_more_performance(self):
+        m = inputs_for((32, 4, 1, 4))
+        fast = PaperModel(get_device("gtx580")).predict(m).mpoints_per_s
+        slow = PaperModel(get_device("c2070")).predict(m).mpoints_per_s
+        assert fast > slow
+
+    def test_higher_order_predicted_slower(self):
+        dev = get_device("gtx580")
+        lo = PaperModel(dev).predict(inputs_for((32, 4, 1, 4), order=2))
+        hi = PaperModel(dev).predict(inputs_for((32, 4, 1, 4), order=12))
+        assert hi.mpoints_per_s < lo.mpoints_per_s
+
+    def test_rank_correlation_with_simulator(self, gtx580):
+        """The model's purpose is ranking: it must correlate strongly with
+        the simulator over the feasible space (the property the section VI
+        procedure relies on)."""
+        from scipy.stats import spearmanr
+
+        from repro.tuning.exhaustive import evaluate_configs, feasible_configs
+        from repro.tuning.space import ParameterSpace
+
+        spec = symmetric(2)
+        build = lambda cfg: make_kernel("inplane_fullslice", spec, cfg)
+        space = ParameterSpace()
+        configs = feasible_configs(build, gtx580, GRID, space)
+        sims = {e.config: e.mpoints_per_s for e in evaluate_configs(build, configs, gtx580, GRID)}
+        model = PaperModel(gtx580)
+        pairs = [
+            (sims[cfg], model.predict(ModelInputs.from_plan(build(cfg), gtx580, GRID)).mpoints_per_s)
+            for cfg in configs
+            if cfg in sims
+        ]
+        rho = spearmanr([p[0] for p in pairs], [p[1] for p in pairs]).statistic
+        assert rho > 0.7
+
+    def test_predict_plan_convenience(self, gtx580):
+        plan = make_kernel("inplane_fullslice", symmetric(2), BlockConfig(32, 4))
+        pred = PaperModel(gtx580).predict_plan(plan, GRID)
+        assert pred.mpoints_per_s > 0

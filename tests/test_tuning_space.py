@@ -1,0 +1,92 @@
+"""Parameter-space constraint tests (section IV-C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TuningError
+from repro.gpusim.device import get_device
+from repro.kernels.config import BlockConfig
+from repro.kernels.factory import make_kernel
+from repro.stencils.spec import symmetric
+from repro.tuning.space import ParameterSpace, default_space
+
+GRID = (512, 512, 256)
+
+
+def smem_of_factory(order=2, dtype="sp"):
+    dev = get_device("gtx580")
+
+    def smem_of(cfg: BlockConfig) -> int:
+        plan = make_kernel("inplane_fullslice", symmetric(order), cfg, dtype)
+        return plan.block_workload(dev, GRID).smem_bytes
+
+    return smem_of
+
+
+class TestSpace:
+    def test_raw_size(self):
+        space = ParameterSpace(
+            tx_values=(16, 32), ty_values=(1, 2), rx_values=(1,), ry_values=(1, 2)
+        )
+        assert space.raw_size() == 8
+        assert len(list(space.candidates())) == 8
+
+    def test_default_space_covers_table4_optima(self):
+        """Every optimal configuration of Table IV must be reachable."""
+        space = default_space()
+        candidates = set(c.as_tuple() for c in space.candidates())
+        for opt in [
+            (256, 1, 1, 8), (32, 2, 2, 4), (32, 8, 2, 2), (32, 4, 1, 4),
+            (32, 8, 1, 2), (64, 4, 2, 4), (128, 4, 1, 4), (16, 8, 1, 1),
+            (16, 16, 1, 1), (64, 2, 1, 4), (128, 1, 1, 4), (256, 4, 1, 4),
+        ]:
+            assert opt in candidates, opt
+
+
+class TestConstraints:
+    def test_all_feasible_satisfy_paper_constraints(self):
+        dev = get_device("gtx580")
+        smem_of = smem_of_factory(order=8)
+        feasible = default_space().feasible(dev, GRID, smem_of)
+        assert feasible
+        for cfg in feasible:
+            assert cfg.tx % 16 == 0  # (i) half-warp multiple
+            assert cfg.threads <= dev.max_threads_per_block  # (ii)
+            assert smem_of(cfg) <= dev.smem_per_sm  # (iii)
+            assert GRID[1] % cfg.tile_y == 0  # (iv)
+            assert GRID[0] % cfg.tile_x == 0
+
+    def test_high_order_shrinks_space(self):
+        dev = get_device("gtx580")
+        lo = default_space().feasible(dev, GRID, smem_of_factory(order=2))
+        hi = default_space().feasible(dev, GRID, smem_of_factory(order=12))
+        assert len(hi) <= len(lo)
+
+    def test_dp_shrinks_space(self):
+        dev = get_device("gtx580")
+        sp = default_space().feasible(dev, GRID, smem_of_factory(dtype="sp"))
+        dp = default_space().feasible(dev, GRID, smem_of_factory(dtype="dp"))
+        assert len(dp) <= len(sp)
+
+    def test_empty_space_raises(self):
+        dev = get_device("gtx580")
+        space = ParameterSpace(tx_values=(24,))  # violates (i) everywhere
+        with pytest.raises(TuningError):
+            space.feasible(dev, GRID, smem_of_factory())
+
+    def test_small_grid_divisibility(self):
+        dev = get_device("gtx580")
+        feasible = default_space().feasible(dev, (64, 48, 32), smem_of_factory())
+        for cfg in feasible:
+            assert 48 % cfg.tile_y == 0
+            assert 64 % cfg.tile_x == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(order=st.sampled_from([2, 4, 8]))
+    def test_feasible_is_subset_of_candidates(self, order):
+        dev = get_device("gtx680")
+        space = default_space()
+        all_cands = set(space.candidates())
+        feas = set(space.feasible(dev, GRID, smem_of_factory(order=order)))
+        assert feas <= all_cands

@@ -1,0 +1,59 @@
+"""ASCII chart rendering tests."""
+
+import pytest
+
+from repro.utils.charts import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_scaling_to_max(self):
+        text = bar_chart("T", {"a": 10.0, "b": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_labels_aligned(self):
+        text = bar_chart("T", {"x": 1.0, "longlabel": 2.0})
+        a, b = text.splitlines()[1:]
+        assert a.index("#") == b.index("#")
+
+    def test_baseline_marker(self):
+        text = bar_chart("T", {"a": 2.0, "b": 0.5}, width=10, baseline=1.0)
+        short_bar = text.splitlines()[2]
+        assert "|" in short_bar  # marker visible beyond the short bar
+
+    def test_marker_over_bar_is_plus(self):
+        text = bar_chart("T", {"a": 2.0}, width=10, baseline=1.0)
+        assert "+" in text.splitlines()[1]
+
+    def test_value_suffix(self):
+        text = bar_chart("T", {"a": 1.5}, unit="x", float_fmt=".1f")
+        assert "1.5x" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart("T", {})
+        with pytest.raises(ValueError):
+            bar_chart("T", {"a": -1.0})
+        with pytest.raises(ValueError):
+            bar_chart("T", {"a": 0.0})
+        with pytest.raises(ValueError):
+            bar_chart("T", {"a": 1.0}, width=2)
+
+
+class TestGroupedBarChart:
+    def test_one_block_per_group(self):
+        text = grouped_bar_chart(
+            "T", ["g1", "g2"], {"s1": [1.0, 2.0], "s2": [2.0, 1.0]}
+        )
+        assert "g1:" in text and "g2:" in text
+        assert text.count("s1") == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart("T", ["g1"], {"s": [1.0, 2.0]})
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart("T", [], {})

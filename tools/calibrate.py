@@ -1,0 +1,36 @@
+"""Calibration dashboard: prints the paper-shape metrics the simulator
+must reproduce, for quick iteration on TimingParams."""
+import repro
+from repro.tuning.space import ParameterSpace
+
+THREAD_ONLY = ParameterSpace(rx_values=(1,), ry_values=(1,))
+FULL = ParameterSpace()
+
+def tune(fam, order, dev, dtype="sp", space=FULL):
+    from repro.tuning.exhaustive import exhaustive_tune
+    from repro.kernels.factory import make_kernel
+    spec = repro.symmetric(order)
+    build = lambda cfg: make_kernel(fam, spec, cfg, dtype)
+    return exhaustive_tune(build, repro.get_device(dev), (512,512,256), space)
+
+for dev in ("gtx580","gtx680","c2070"):
+    print(f"=== {dev} SP ===")
+    for order in (2,4,8,12):
+        nv = tune("nvstencil", order, dev, space=THREAD_ONLY)
+        nv_rb = tune("nvstencil", order, dev, space=FULL)
+        fs_t = tune("inplane_fullslice", order, dev, space=THREAD_ONLY)
+        fs = tune("inplane_fullslice", order, dev, space=FULL)
+        hz_t = tune("inplane_horizontal", order, dev, space=THREAD_ONLY)
+        vt_t = tune("inplane_vertical", order, dev, space=THREAD_ONLY)
+        print(f" o{order:2d}: nv={nv.best_mpoints:7.0f}{nv.best_config.label():>15}"
+              f" | fs+RB={fs.best_mpoints:7.0f}{fs.best_config.label():>15}"
+              f" speedup={fs.best_mpoints/nv.best_mpoints:.2f}"
+              f" | fsT/nv={fs_t.best_mpoints/nv.best_mpoints:.2f}"
+              f" hzT/nv={hz_t.best_mpoints/nv.best_mpoints:.2f}"
+              f" vtT/nv={vt_t.best_mpoints/nv.best_mpoints:.2f}"
+              f" | nvRB/nv={nv_rb.best_mpoints/nv.best_mpoints:.2f}")
+print("=== gtx580 DP ===")
+for order in (2,8,12):
+    nv = tune("nvstencil", order, "gtx580", "dp", THREAD_ONLY)
+    fs = tune("inplane_fullslice", order, "gtx580", "dp", FULL)
+    print(f" o{order:2d}: nv={nv.best_mpoints:7.0f} fs+RB={fs.best_mpoints:7.0f} speedup={fs.best_mpoints/nv.best_mpoints:.2f}")
