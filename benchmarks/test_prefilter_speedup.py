@@ -1,0 +1,73 @@
+"""Micro-benchmark: tuner wall-clock with vs without the static
+resource pre-filter on a Table IV-style sweep.
+
+The analyzer's ``launch_failure`` rejects configurations the simulator's
+executor would refuse, *before* a workload is priced.  This bench times
+an order-8 full-slice exhaustive sweep (the Table IV cell where the
+default space carries the largest share of unlaunchable configurations
+on the GTX580's register file) both ways and asserts the acceptance
+criteria: the optimum is bit-identical and a nonzero share of the space
+was rejected statically.
+"""
+
+import time
+
+from repro.gpusim.device import get_device
+from repro.kernels.inplane import InPlaneKernel
+from repro.stencils.spec import symmetric
+from repro.tuning.exhaustive import exhaustive_tune
+
+GRID = (512, 512, 256)
+DEVICE = "gtx580"
+ORDER = 8
+
+
+def build(cfg):
+    return InPlaneKernel(symmetric(ORDER), cfg)
+
+
+def sweep(prefilter):
+    device = get_device(DEVICE)
+    start = time.perf_counter()
+    result = exhaustive_tune(build, device, GRID, prefilter=prefilter)
+    return result, time.perf_counter() - start
+
+
+def test_prefilter_speedup(benchmark, save_render):
+    without, t_without = sweep(prefilter=False)
+    with_f, t_with = benchmark.pedantic(
+        lambda: sweep(prefilter=True), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    # Optimum invariance — the filter may only remove configurations the
+    # executor would have refused anyway.
+    assert with_f.best_config == without.best_config
+    assert with_f.best_mpoints == without.best_mpoints
+    assert [e.config for e in with_f.entries] == [
+        e.config for e in without.entries
+    ]
+
+    # A nonzero share of the order-8 space is statically rejectable, and
+    # the static and simulated reject sets coincide exactly.
+    rejected = with_f.info["rejected_static"]
+    evaluated = len(with_f.entries)
+    assert rejected > 0
+    assert with_f.info["rejected_simulated"] == 0
+    assert without.info["rejected_simulated"] == rejected
+
+    share = rejected / (evaluated + rejected)
+    lines = [
+        f"prefilter micro-bench: {ORDER=} inplane_fullslice {DEVICE} {GRID}",
+        f"  space: {evaluated + rejected} feasible configs, "
+        f"{rejected} statically rejected ({share:.1%})",
+        f"  optimum: {with_f.best_config} @ {with_f.best_mpoints:.1f} MPoint/s"
+        " (identical with and without)",
+        f"  wall-clock: {t_without:.3f}s without -> {t_with:.3f}s with"
+        f" ({t_without / t_with:.2f}x)" if t_with > 0 else "",
+    ]
+
+    class _R:
+        def render(self):
+            return "\n".join(lines)
+
+    save_render(_R(), "prefilter_speedup.txt")

@@ -25,6 +25,22 @@ GRID = (512, 512, 256)
 DEVICE = "gtx580"
 
 
+def plans():
+    """The kernel plans this example runs, for the lint regression test."""
+    out = [
+        (MultiGridKernel(expr, repro.BlockConfig(16, 4), "sp", method=method),
+         GRID)
+        for expr in APPLICATIONS.values()
+        for method in ("forward", "inplane")
+    ]
+    out.append((
+        MultiGridKernel(APPLICATIONS["hyperthermia"], repro.BlockConfig(32, 8),
+                        "sp", method="inplane"),
+        GRID,
+    ))
+    return out
+
+
 def main() -> None:
     rng = np.random.default_rng(42)
     dev = repro.get_device(DEVICE)

@@ -24,6 +24,15 @@ DEVICE = "gtx580"
 GRID = (512, 512, 256)
 
 
+def plans():
+    """The kernel plans this example runs, for the lint regression test."""
+    spec = repro.symmetric(ORDER)
+    return [
+        (make_kernel("inplane_fullslice", spec, (32, 4, 1, 4)), GRID),
+        (make_kernel("inplane_fullslice", spec, (16, 16, 4, 1)), GRID),
+    ]
+
+
 def main() -> None:
     spec = repro.symmetric(ORDER)
     dev = repro.get_device(DEVICE)

@@ -32,6 +32,19 @@ t_next[i,j,k] = 0.55 * t[i,j,k]
 """
 
 
+def plans():
+    """The kernel plans this example runs, for the lint regression test."""
+    expr, _ = repro.parse_stencil(SOURCE, name="aniso_diffusion")
+    return [
+        (MultiGridKernel(expr, repro.BlockConfig(16, 4), "sp",
+                         method=method), GRID)
+        for method in ("forward", "inplane")
+    ] + [
+        (repro.make_kernel("inplane_fullslice", repro.symmetric(2),
+                           (32, 4, 1, 4)), GRID),
+    ]
+
+
 def main() -> None:
     expr, inputs = repro.parse_stencil(SOURCE, name="aniso_diffusion")
     print(f"parsed {expr.name!r}: inputs {inputs}, "

@@ -24,6 +24,15 @@ def make_initial(n: int = 48) -> np.ndarray:
     return grid
 
 
+def plans():
+    """The kernel plans this example runs, for the lint regression test."""
+    spec = repro.symmetric(order=2)
+    return [
+        (repro.make_kernel("inplane_fullslice", spec, (16, 4, 1, 2)),
+         (512, 512, 256)),
+    ]
+
+
 def main() -> None:
     spec = repro.symmetric(order=2)  # the classic 7-point heat kernel
     kern = repro.make_kernel("inplane_fullslice", spec, (16, 4, 1, 2))

@@ -27,6 +27,11 @@ def builder():
     return repro.make_kernel("inplane_fullslice", repro.symmetric(2), (64, 4, 4, 2))
 
 
+def plans():
+    """The kernel plans this example runs, for the lint regression test."""
+    return [(builder(), GRID)]
+
+
 def main() -> None:
     # 1. Exactness on a small grid anyone can verify quickly.
     sim = MultiGpuStencil(builder, "gtx580")

@@ -31,6 +31,20 @@ def manufactured_problem(n: int = 34):
     return u0, f, u_star
 
 
+def plans():
+    """The kernel plans this example runs, for the lint regression test."""
+    expr = poisson()
+    grid = (512, 512, 256)
+    return [
+        (MultiGridKernel(expr, repro.BlockConfig(16, 4, 1, 2), "dp",
+                         method="inplane"), grid),
+        (MultiGridKernel(expr, repro.BlockConfig(64, 4, 1, 2), "sp",
+                         method="forward"), grid),
+        (MultiGridKernel(expr, repro.BlockConfig(64, 4, 1, 2), "sp",
+                         method="inplane"), grid),
+    ]
+
+
 def main() -> None:
     expr = poisson()
     kern = MultiGridKernel(expr, repro.BlockConfig(16, 4, 1, 2), "dp",

@@ -16,6 +16,15 @@ import numpy as np
 import repro
 
 
+def plans():
+    """The kernel plans this example runs, for the lint regression test."""
+    spec = repro.symmetric(order=4)
+    return [
+        (repro.make_kernel("inplane_fullslice", spec, (32, 4, 1, 4)),
+         (512, 512, 256)),
+    ]
+
+
 def main() -> None:
     # A 4th-order (radius-2) symmetric Jacobi stencil, Eqn (1).
     spec = repro.symmetric(order=4)

@@ -1,0 +1,45 @@
+"""Static analysis of kernel plans, DSL programs and tuning configurations.
+
+A rule-based analyzer that proves plan properties without executing a
+sweep: exact tiling coverage (races / holes), halo sufficiency, coalescing
+and bank-conflict behaviour, and device resource limits.  Diagnostics are
+structured (:class:`Diagnostic`: rule id, severity, location, message, fix
+hint) and aggregate into an :class:`AnalysisReport` with stable exit codes
+for the ``repro lint`` CLI.
+
+Three integration layers consume it:
+
+* ``repro lint`` — text/JSON reports over plans and DSL source;
+* the tuners — :func:`repro.analysis.resources.launch_failure` as a
+  fast-reject pre-filter provably equivalent to the executor's
+  :class:`~repro.errors.ResourceLimitError` set;
+* codegen — :func:`gate_codegen` refuses to emit error-level plans.
+
+The rule catalog lives in :mod:`repro.analysis.rules`; the user-facing
+version is ``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.engine import (
+    analyze_expr,
+    analyze_plan,
+    analyze_slabs,
+    analyze_source,
+    gate_codegen,
+)
+from repro.analysis.resources import launch_failure
+from repro.analysis.rules import Rule, catalog
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "Rule",
+    "Severity",
+    "analyze_expr",
+    "analyze_plan",
+    "analyze_slabs",
+    "analyze_source",
+    "catalog",
+    "gate_codegen",
+    "launch_failure",
+]

@@ -1,0 +1,106 @@
+"""Semantic checks over stencil expressions and DSL source.
+
+The hard errors of the DSL (syntax, undefined grids, arity mismatches) are
+raised eagerly by :mod:`repro.stencils.parser` and
+:mod:`repro.stencils.expr` — :func:`source_diagnostics` catches them and
+re-expresses each as a diagnostic carrying the exception's rule id.  On an
+expression that *constructs*, :func:`expr_diagnostics` reports the
+conditions that are legal but suspicious or performance-relevant: dead
+taps, duplicate taps, missing centre taps, asymmetric z reach, and
+pointwise (radius-0) programs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis import rules
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.errors import StencilDefinitionError
+from repro.stencils.expr import StencilExpr
+from repro.stencils.parser import parse_stencil
+
+
+def diagnostic_from_error(
+    error: Exception, location: str, fallback: "rules.Rule"
+) -> Diagnostic:
+    """Turn an eagerly-raised library error into an error-level diagnostic.
+
+    When the exception carries a ``rule`` id from the catalog, the
+    diagnostic keeps that id (so lazy lint and eager raise name the defect
+    identically); severity is always ERROR — the library refused the input.
+    """
+    rule = rules.catalog().get(getattr(error, "rule", None) or "", fallback)
+    return Diagnostic(
+        rule=rule.id,
+        severity=Severity.ERROR,
+        location=location,
+        message=str(error),
+    )
+
+
+def expr_diagnostics(expr: StencilExpr) -> list[Diagnostic]:
+    """Warnings and notes over one valid :class:`StencilExpr`."""
+    out: list[Diagnostic] = []
+    name = expr.name
+
+    for output in expr.outputs:
+        loc = f"{name}.{output.name}"
+        if not any(t.offset == (0, 0, 0) for t in output.taps):
+            out.append(rules.DSL_NO_CENTRE.diag(
+                loc,
+                "no tap reads the centre point: a pure shift defeats the "
+                "in-plane recurrence's reuse of the current plane",
+            ))
+        multiplicity = Counter(
+            (t.grid, t.offset, t.coeff_grid) for t in output.taps
+        )
+        for (grid, offset, coeff_grid), n in sorted(multiplicity.items()):
+            if n > 1:
+                via = f" via coeff grid {coeff_grid}" if coeff_grid is not None else ""
+                out.append(rules.DSL_DUP_TAP.diag(
+                    loc,
+                    f"grid[{grid}] at offset {offset}{via} is summed "
+                    f"{n} times",
+                    hint="fold the coefficients into one tap",
+                ))
+        for tap in output.taps:
+            if tap.coeff == 0.0:
+                out.append(rules.DSL_ZERO_COEFF.diag(
+                    loc,
+                    f"tap grid[{tap.grid}] at {tap.offset} has coefficient "
+                    "0.0: a dead load",
+                    hint="drop the term",
+                ))
+
+    if expr.radius() == 0:
+        out.append(rules.DSL_POINTWISE.diag(
+            name,
+            "every tap is centred (radius 0): this is a pointwise map, not "
+            "a stencil — blocked loading buys nothing",
+        ))
+    for grid in expr.stenciled_grids():
+        back, fwd = expr.z_extent(grid)
+        if back != fwd:
+            out.append(rules.DSL_ASYM_Z.diag(
+                name,
+                f"grid[{grid}] reaches z-{back}..z+{fwd}: the asymmetry "
+                f"deepens the register pipeline to {back + fwd + 1} planes "
+                "(Upstream-style)",
+            ))
+    return out
+
+
+def source_diagnostics(
+    source: str, name: str = "parsed"
+) -> tuple[StencilExpr | None, list[Diagnostic]]:
+    """Parse DSL source; return (expr or None, diagnostics).
+
+    A source that does not compile yields ``(None, [one error])``; one that
+    does yields the expression plus its semantic warnings.
+    """
+    try:
+        expr, _ = parse_stencil(source, name)
+    except StencilDefinitionError as exc:
+        return None, [diagnostic_from_error(exc, name, rules.DSL_PARSE)]
+    return expr, expr_diagnostics(expr)

@@ -1,0 +1,172 @@
+"""The analyzer driver: run every applicable rule family over a subject.
+
+One entry point per subject kind —
+
+* :func:`analyze_plan` for a :class:`~repro.kernels.base.KernelPlan`
+  (optionally against a device and grid, which unlocks the coverage,
+  halo, memory and resource families);
+* :func:`analyze_expr` / :func:`analyze_source` for DSL programs;
+* :func:`analyze_slabs` for multi-GPU decompositions;
+
+plus :func:`gate_codegen`, the refusal the CUDA emitter applies before
+shipping a plan.  Analysis never executes a sweep: the deepest it goes is
+asking the plan for its declared :class:`~repro.gpusim.workload.BlockWorkload`
+geometry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis import coverage, dsl, halo, memaccess, resources, rules
+from repro.analysis.diagnostics import AnalysisReport
+from repro.errors import ConfigurationError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.decompose import Slab
+    from repro.gpusim.device import DeviceSpec
+    from repro.kernels.base import KernelPlan
+    from repro.stencils.expr import StencilExpr
+
+
+def _space_diagnostics(plan: "KernelPlan") -> list:
+    """CFG-NONDIV: flag blocking factors outside the tuner's default lists.
+
+    Imported lazily — the tuners call into :mod:`repro.analysis.resources`
+    for their fast-reject path, so a module-level import here would be a
+    package cycle.
+    """
+    from repro.tuning.space import (
+        DEFAULT_RX, DEFAULT_RY, DEFAULT_TX, DEFAULT_TY,
+    )
+
+    block = plan.block
+    strays = [
+        f"{name}={value}"
+        for name, value, known in (
+            ("TX", block.tx, DEFAULT_TX),
+            ("TY", block.ty, DEFAULT_TY),
+            ("RX", block.rx, DEFAULT_RX),
+            ("RY", block.ry, DEFAULT_RY),
+        )
+        if value not in known
+    ]
+    if not strays:
+        return []
+    return [rules.CFG_NONDIV.diag(
+        plan.name,
+        f"{', '.join(strays)} outside the default tuning space: "
+        "the auto-tuner would never propose this configuration",
+        hint="fine for manual runs; extend ParameterSpace to tune over it",
+    )]
+
+
+def analyze_plan(
+    plan: "KernelPlan",
+    device: "DeviceSpec | None" = None,
+    grid_shape: tuple[int, int, int] | None = None,
+    *,
+    stride_x: int | None = None,
+    stride_y: int | None = None,
+    suppress: Iterable[str] = (),
+) -> AnalysisReport:
+    """Run every applicable rule family over one kernel plan.
+
+    Without ``grid_shape`` only the structural families run (register-tile
+    coverage, temporal ghosts, expression semantics, tuning-space fit); a
+    grid adds launch-grid coverage and halo analysis, and a device
+    additionally unlocks the workload-level families (shared buffer,
+    coalescing regions, bank conflicts, resource limits).
+
+    ``stride_x`` / ``stride_y`` override the launch-grid stride — the
+    injection knob ``repro lint --tile-stride`` uses to demonstrate
+    coverage races and holes on an otherwise healthy plan.
+    """
+    report = AnalysisReport(subject=plan.name, suppressed=tuple(suppress))
+    report.extend(coverage.register_tile_diagnostics(plan, stride_x, stride_y))
+    report.extend(coverage.temporal_diagnostics(plan))
+    report.extend(_space_diagnostics(plan))
+    expr = getattr(plan, "expr", None)
+    if expr is not None:
+        report.extend(dsl.expr_diagnostics(expr))
+
+    if grid_shape is not None:
+        report.extend(
+            coverage.tile_cover_diagnostics(plan, grid_shape, stride_x, stride_y)
+        )
+        report.extend(halo.grid_halo_diagnostics(plan, grid_shape))
+
+    # Workload-level families need the declared geometry; deriving it on a
+    # plan already known broken would raise the very conditions reported
+    # above, so stop at the first error like any lint pipeline.
+    if device is not None and grid_shape is not None and report.ok:
+        try:
+            workload = plan.block_workload(device, grid_shape)
+        except ReproError as exc:
+            report.add(dsl.diagnostic_from_error(exc, plan.name, rules.CFG_POSITIVE))
+        else:
+            report.extend(
+                halo.workload_halo_diagnostics(plan, workload, grid_shape)
+            )
+            report.extend(memaccess.region_diagnostics(workload, plan.name))
+            report.extend(memaccess.smem_tile_diagnostics(plan, device))
+            report.extend(resources.resource_diagnostics(plan, workload, device))
+    return report
+
+
+def analyze_expr(
+    expr: "StencilExpr", *, suppress: Iterable[str] = ()
+) -> AnalysisReport:
+    """Semantic lint of one stencil expression."""
+    report = AnalysisReport(subject=expr.name, suppressed=tuple(suppress))
+    report.extend(dsl.expr_diagnostics(expr))
+    return report
+
+
+def analyze_source(
+    source: str, name: str = "parsed", *, suppress: Iterable[str] = ()
+) -> AnalysisReport:
+    """Parse-and-lint DSL source (parse failures become diagnostics)."""
+    report = AnalysisReport(subject=name, suppressed=tuple(suppress))
+    _, diags = dsl.source_diagnostics(source, name)
+    report.extend(diags)
+    return report
+
+
+def analyze_slabs(
+    slabs: "list[Slab]",
+    lz: int,
+    radius: int,
+    *,
+    suppress: Iterable[str] = (),
+) -> AnalysisReport:
+    """Coverage lint of a multi-GPU z-slab decomposition."""
+    report = AnalysisReport(
+        subject=f"{len(slabs)}-slab decomposition of lz={lz}",
+        suppressed=tuple(suppress),
+    )
+    report.extend(coverage.slab_diagnostics(slabs, lz, radius))
+    return report
+
+
+def gate_codegen(
+    plan: "KernelPlan",
+    device: "DeviceSpec | None" = None,
+    grid_shape: tuple[int, int, int] | None = None,
+) -> None:
+    """Refuse to emit CUDA for a plan carrying error-level diagnostics.
+
+    Raises :class:`~repro.errors.ConfigurationError` (tagged with the first
+    finding's rule id) so the emitter can never ship a racy or
+    out-of-bounds kernel; warnings pass.
+    """
+    report = analyze_plan(plan, device, grid_shape)
+    if report.ok:
+        return
+    findings = "; ".join(
+        f"[{d.rule}] {d.message}" for d in report.errors
+    )
+    raise ConfigurationError(
+        f"refusing to generate code for {plan.name}: {findings}",
+        rule=report.errors[0].rule,
+    )

@@ -1,0 +1,219 @@
+"""The rule catalog: every diagnostic the analyzer can emit.
+
+Rule ids are stable API (the CLI's ``--suppress``, the JSON output, and
+the ``rule=`` attribute of eagerly-raised :class:`repro.errors.ReproError`
+all use them), so additions are fine but renames are breaking.  The id
+prefix names the family:
+
+* ``COV-``  race / coverage verification (every output point written
+  exactly once, ghost-zone hazards, slab decomposition);
+* ``HALO-`` out-of-bounds halo analysis (stencil extent vs. grid shape,
+  shared-tile sufficiency);
+* ``MEM-``  static coalescing and shared-memory bank-conflict lint;
+* ``RES-``  device resource overflow / occupancy pre-checks;
+* ``DSL-``  stencil-expression semantic checks;
+* ``CFG-``  blocking-configuration well-formedness.
+
+``docs/ANALYSIS.md`` is the user-facing version of this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One catalog entry: id, default severity, what it proves."""
+
+    id: str
+    severity: Severity
+    summary: str
+
+    def diag(self, location: str, message: str, hint: str = "") -> Diagnostic:
+        """Make a diagnostic for this rule at its default severity."""
+        return Diagnostic(
+            rule=self.id,
+            severity=self.severity,
+            location=location,
+            message=message,
+            hint=hint,
+        )
+
+
+_CATALOG: dict[str, Rule] = {}
+
+
+def _rule(id: str, severity: Severity, summary: str) -> Rule:
+    rule = Rule(id=id, severity=severity, summary=summary)
+    if id in _CATALOG:
+        raise ValueError(f"duplicate rule id {id!r}")
+    _CATALOG[id] = rule
+    return rule
+
+
+def catalog() -> dict[str, Rule]:
+    """All registered rules, keyed by id."""
+    return dict(_CATALOG)
+
+
+# ---------------------------------------------------------------------------
+# COV — race / coverage verification
+# ---------------------------------------------------------------------------
+COV_TILE_OVERLAP = _rule(
+    "COV-TILE-OVERLAP", Severity.ERROR,
+    "an output point is written by more than one thread block (write race)",
+)
+COV_TILE_GAP = _rule(
+    "COV-TILE-GAP", Severity.ERROR,
+    "an output point is written by no thread block (coverage hole)",
+)
+COV_REGTILE = _rule(
+    "COV-REGTILE", Severity.ERROR,
+    "register-tiled per-thread writes do not cover the block tile exactly once",
+)
+COV_PARTIAL_TILE = _rule(
+    "COV-PARTIAL-TILE", Severity.WARNING,
+    "grid not divisible by the effective tile (partial tiles; paper constraint (iv))",
+)
+COV_TEMPORAL_GHOST = _rule(
+    "COV-TEMPORAL-GHOST", Severity.ERROR,
+    "temporal-blocking ghost zone narrower than radius x time_steps "
+    "(read-after-write hazard on intermediate steps)",
+)
+COV_SLAB_OVERLAP = _rule(
+    "COV-SLAB-OVERLAP", Severity.ERROR,
+    "slab decomposition: two GPUs own the same z-plane (write race)",
+)
+COV_SLAB_GAP = _rule(
+    "COV-SLAB-GAP", Severity.ERROR,
+    "slab decomposition: a z-plane is owned by no GPU",
+)
+COV_SLAB_GHOST = _rule(
+    "COV-SLAB-GHOST", Severity.ERROR,
+    "slab ghost zone narrower than the stencil radius at an interior interface",
+)
+
+# ---------------------------------------------------------------------------
+# HALO — out-of-bounds halo analysis
+# ---------------------------------------------------------------------------
+HALO_GRID_SMALL = _rule(
+    "HALO-GRID-SMALL", Severity.ERROR,
+    "grid smaller than the stencil extent (2r+1) on some axis",
+)
+HALO_TAP_OOB = _rule(
+    "HALO-TAP-OOB", Severity.ERROR,
+    "a tap offset reaches outside the grid for every point of some plane",
+)
+HALO_TILE_EXCEEDS = _rule(
+    "HALO-TILE-EXCEEDS", Severity.ERROR,
+    "effective tile larger than the grid plane",
+)
+HALO_SMEM_SHORT = _rule(
+    "HALO-SMEM-SHORT", Severity.ERROR,
+    "declared shared-memory buffer smaller than the staged tile + halos "
+    "(out-of-bounds shared writes)",
+)
+HALO_PROLOGUE = _rule(
+    "HALO-PROLOGUE", Severity.WARNING,
+    "register pipeline prologue consumes the whole z extent",
+)
+
+# ---------------------------------------------------------------------------
+# MEM — coalescing and bank conflicts
+# ---------------------------------------------------------------------------
+MEM_BANK_CONFLICT = _rule(
+    "MEM-BANK-CONFLICT", Severity.WARNING,
+    "shared-tile pitch produces multi-way bank conflicts for column accesses",
+)
+MEM_DP_BANKS = _rule(
+    "MEM-DP-BANKS", Severity.INFO,
+    "8-byte elements serialize 2-way in 4-byte shared-memory banks (Fermi)",
+)
+MEM_UNCOALESCED_STRIP = _rule(
+    "MEM-UNCOALESCED-STRIP", Severity.WARNING,
+    "column-strip halo loads drag in whole lines per row (uncoalesced, "
+    "partition-camped — the Fig 4 pattern)",
+)
+MEM_MISALIGNED = _rule(
+    "MEM-MISALIGNED", Severity.INFO,
+    "row region averages more transactions per row than its aligned minimum",
+)
+
+# ---------------------------------------------------------------------------
+# RES — resource overflow / occupancy
+# ---------------------------------------------------------------------------
+RES_THREADS = _rule(
+    "RES-THREADS", Severity.ERROR,
+    "threads per block exceed the device limit",
+)
+RES_REGS = _rule(
+    "RES-REGS", Severity.ERROR,
+    "one block's register allocation exceeds the SM register file",
+)
+RES_SMEM = _rule(
+    "RES-SMEM", Severity.ERROR,
+    "shared-memory buffer exceeds the per-SM limit",
+)
+RES_NOFIT = _rule(
+    "RES-NOFIT", Severity.ERROR,
+    "no block of this shape fits an SM (zero occupancy)",
+)
+RES_SPILL = _rule(
+    "RES-SPILL", Severity.WARNING,
+    "register estimate above the per-thread cap: the kernel runs but spills",
+)
+RES_HALFWARP = _rule(
+    "RES-HALFWARP", Severity.WARNING,
+    "TX not a multiple of a half-warp (paper constraint (i): coalescing)",
+)
+
+# ---------------------------------------------------------------------------
+# DSL — stencil-expression semantics
+# ---------------------------------------------------------------------------
+DSL_PARSE = _rule(
+    "DSL-PARSE", Severity.ERROR,
+    "stencil source does not parse (syntax, non-constant offset, bad term shape)",
+)
+DSL_UNDEF_GRID = _rule(
+    "DSL-UNDEF-GRID", Severity.ERROR,
+    "a tap or coefficient references a grid index outside [0, n_grids)",
+)
+DSL_ARITY = _rule(
+    "DSL-ARITY", Severity.ERROR,
+    "coefficient count does not match the declared radius/arity",
+)
+DSL_NO_CENTRE = _rule(
+    "DSL-NO-CENTRE", Severity.WARNING,
+    "an output has no centre tap (pure shift stencils defeat in-plane reuse)",
+)
+DSL_DUP_TAP = _rule(
+    "DSL-DUP-TAP", Severity.WARNING,
+    "one output sums the same (grid, offset) twice (fold the coefficients)",
+)
+DSL_ZERO_COEFF = _rule(
+    "DSL-ZERO-COEFF", Severity.WARNING,
+    "a tap has coefficient 0.0 (dead load)",
+)
+DSL_ASYM_Z = _rule(
+    "DSL-ASYM-Z", Severity.INFO,
+    "asymmetric z reach deepens the register pipeline beyond the radius",
+)
+DSL_POINTWISE = _rule(
+    "DSL-POINTWISE", Severity.INFO,
+    "radius-0 expression: a pointwise map, not a stencil",
+)
+
+# ---------------------------------------------------------------------------
+# CFG — blocking-configuration well-formedness
+# ---------------------------------------------------------------------------
+CFG_POSITIVE = _rule(
+    "CFG-POSITIVE", Severity.ERROR,
+    "a blocking factor is zero or negative",
+)
+CFG_NONDIV = _rule(
+    "CFG-NONDIV", Severity.WARNING,
+    "candidate values not covered by the tuner's default space",
+)

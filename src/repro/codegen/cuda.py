@@ -18,10 +18,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
+from repro.analysis import gate_codegen
 from repro.gpusim.smem import padded_pitch_words
 from repro.kernels.inplane import InPlaneKernel
 from repro.kernels.nvstencil import NvStencilKernel
 from repro.kernels.symmetric import SymmetricKernelPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.device import DeviceSpec
 
 
 @dataclass(frozen=True)
@@ -228,13 +234,27 @@ def _forward_compute_code(plan: SymmetricKernelPlan) -> str:
     }}"""
 
 
-def generate_kernel(plan: SymmetricKernelPlan) -> CudaSource:
-    """Emit the CUDA C translation unit for ``plan``."""
+def generate_kernel(
+    plan: SymmetricKernelPlan,
+    grid_shape: tuple[int, int, int] | None = None,
+    device: "DeviceSpec | None" = None,
+) -> CudaSource:
+    """Emit the CUDA C translation unit for ``plan``.
+
+    Before emitting anything the plan is run through the static analyzer
+    (:func:`repro.analysis.gate_codegen`): a plan carrying an error-level
+    finding — a coverage race, an out-of-bounds halo, an unlaunchable
+    resource footprint — is refused with a :class:`ConfigurationError`
+    naming the rule, instead of producing CUDA source that compiles but
+    corrupts its output.  ``grid_shape``/``device`` widen the gate to the
+    grid- and resource-dependent rule families when known.
+    """
     if not isinstance(plan, (InPlaneKernel, NvStencilKernel)):
         raise TypeError(
             f"code generation supports the symmetric in-plane and nvstencil "
             f"kernels, not {type(plan).__name__}"
         )
+    gate_codegen(plan, device=device, grid_shape=grid_shape)
     spec, block = plan.spec, plan.block
     r = spec.radius
     ctype = _ctype(plan)

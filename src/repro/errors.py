@@ -3,13 +3,26 @@
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything coming out of the reproduction stack with one handler while
 still discriminating configuration problems from resource-limit violations.
+
+Errors optionally carry a ``rule`` id from the static-analysis catalog
+(:mod:`repro.analysis.rules`), so a failure raised eagerly at construction
+time and the same condition reported lazily by ``repro lint`` identify the
+defect with the same stable name.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    ``rule`` names the static-analysis rule (e.g. ``"RES-REGS"``) that
+    diagnoses the same condition, when one exists.
+    """
+
+    def __init__(self, *args: object, rule: str | None = None) -> None:
+        super().__init__(*args)
+        self.rule = rule
 
 
 class ConfigurationError(ReproError):

@@ -16,6 +16,7 @@ from repro.gpusim.report import SimReport
 from repro.gpusim.timing import TimingParams, params_for, time_kernel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpusim.workload import BlockWorkload
     from repro.kernels.base import KernelPlan
 
 
@@ -37,9 +38,20 @@ class DeviceExecutor:
         self.device = get_device(device) if isinstance(device, str) else device
         self.params = params
 
-    def run(self, plan: "KernelPlan", grid_shape: tuple[int, int, int]) -> SimReport:
-        """Simulate one sweep of ``plan`` over ``grid_shape`` (LX, LY, LZ)."""
-        block = plan.block_workload(self.device, grid_shape)
+    def run(
+        self,
+        plan: "KernelPlan",
+        grid_shape: tuple[int, int, int],
+        block: "BlockWorkload | None" = None,
+    ) -> SimReport:
+        """Simulate one sweep of ``plan`` over ``grid_shape`` (LX, LY, LZ).
+
+        ``block`` lets callers that already compiled the plan's block
+        workload (e.g. the tuners' static pre-filter) reuse it instead of
+        paying the traffic enumeration twice.
+        """
+        if block is None:
+            block = plan.block_workload(self.device, grid_shape)
         grid = plan.grid_workload(self.device, grid_shape)
         timing = time_kernel(block, grid, self.device, self.params)
 

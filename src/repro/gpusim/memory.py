@@ -112,6 +112,29 @@ def best_vector_width(
     return 1
 
 
+@dataclass(frozen=True)
+class RegionRecord:
+    """Geometry of one accounted load/store region, kept for introspection.
+
+    The region builders in :mod:`repro.kernels.loads` attach one record per
+    region alongside the aggregate counters, so the static analyzer
+    (:mod:`repro.analysis.memaccess`) can lint a workload's access patterns
+    — misaligned rows, uncoalesced strips — without re-deriving any kernel
+    variant's loading logic.  ``avg_row_transactions`` is the phase-averaged
+    per-row transaction count the aggregate was charged with.
+    """
+
+    kind: str
+    x_start_rel: int
+    width_elems: int
+    rows: int
+    tile_stride: int
+    elem_bytes: int
+    vec_width: int
+    avg_row_transactions: float
+    camped: bool = False
+
+
 @dataclass
 class MemoryStats:
     """Aggregated global-memory behaviour of one block for one z-plane.
@@ -141,6 +164,10 @@ class MemoryStats:
     #: partition and serialize there (Fermi-era "partition camping").
     #: The timing model charges these an extra service-cost multiplier.
     camped_bytes: float = 0.0
+    #: Per-region geometry records (appended by the builders in
+    #: :mod:`repro.kernels.loads`) for the static analyzer; purely
+    #: informational — no counter above is derived from them.
+    regions: list[RegionRecord] = field(default_factory=list)
 
     def add(self, access: WarpAccess, instructions: int | None = None) -> None:
         """Accumulate one :class:`WarpAccess`.
@@ -242,6 +269,7 @@ class MemoryStats:
         self.spill_transferred_bytes += other.spill_transferred_bytes
         self.load_phases += other.load_phases
         self.camped_bytes += other.camped_bytes
+        self.regions.extend(other.regions)
 
 
 def row_region_accesses(

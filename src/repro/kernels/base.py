@@ -104,12 +104,14 @@ class KernelPlan(abc.ABC):
         r = self.halo_radius()
         if min(lx, ly, lz) < 2 * r + 1:
             raise GridShapeError(
-                f"grid {grid_shape} too small for radius {r}"
+                f"grid {grid_shape} too small for radius {r}",
+                rule="HALO-GRID-SMALL",
             )
         if self.block.tile_x > lx or self.block.tile_y > ly:
             raise ConfigurationError(
                 f"tile {self.block.tile_x}x{self.block.tile_y} exceeds grid "
-                f"plane {lx}x{ly}"
+                f"plane {lx}x{ly}",
+                rule="HALO-TILE-EXCEEDS",
             )
 
     # ------------------------------------------------------------------

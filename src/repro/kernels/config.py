@@ -27,7 +27,9 @@ class BlockConfig:
     def __post_init__(self) -> None:
         for name, v in (("tx", self.tx), ("ty", self.ty), ("rx", self.rx), ("ry", self.ry)):
             if v <= 0:
-                raise ConfigurationError(f"{name} must be positive, got {v}")
+                raise ConfigurationError(
+                    f"{name} must be positive, got {v}", rule="CFG-POSITIVE"
+                )
 
     @property
     def threads(self) -> int:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.gpusim.arch import WARP_SIZE
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.memory import KIND_HALO, KIND_INTERIOR, MemoryStats
@@ -66,7 +67,7 @@ class InPlaneKernel(SymmetricKernelPlan):
     ) -> None:
         super().__init__(spec, block, dtype)
         if variant not in INPLANE_VARIANTS:
-            raise ValueError(
+            raise ConfigurationError(
                 f"unknown in-plane variant {variant!r}; pick one of {INPLANE_VARIANTS}"
             )
         self.variant = variant

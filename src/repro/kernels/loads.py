@@ -18,12 +18,14 @@ workload is exact in aggregate over the whole grid.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
 from repro.gpusim.arch import WARP_SIZE
 from repro.gpusim.memory import (
     KIND_HALO,
     KIND_INTERIOR,
     KIND_WRITE,
     MemoryStats,
+    RegionRecord,
     line_span,
 )
 from repro.kernels.layout import GridLayout
@@ -52,7 +54,9 @@ def add_row_region(
     with near-perfect efficiency despite its 4r^2 redundant elements.
     """
     if rows <= 0 or width_elems <= 0:
-        raise ValueError("region must be non-empty")
+        raise ConfigurationError(
+            "region must be non-empty", rule="CFG-POSITIVE"
+        )
     vec = (
         layout.vector_width_for(x_start_rel, width_elems, tile_stride)
         if use_vectors
@@ -61,6 +65,17 @@ def add_row_region(
     instr_per_row = ceil_div(width_elems, WARP_SIZE * vec)
     tx_per_row = layout.avg_row_transactions(x_start_rel, width_elems, tile_stride)
     requested = width_elems * layout.elem_bytes * rows
+    def record(tx: float) -> None:
+        stats.regions.append(RegionRecord(
+            kind=kind,
+            x_start_rel=x_start_rel,
+            width_elems=width_elems,
+            rows=rows,
+            tile_stride=tile_stride,
+            elem_bytes=layout.elem_bytes,
+            vec_width=vec,
+            avg_row_transactions=tx,
+        ))
 
     if kind == KIND_WRITE:
         # Stores bypass L1 and move through L2 in 32-byte sectors, so a
@@ -71,6 +86,7 @@ def add_row_region(
         phase = layout.phase_of(x_start_rel) % sector
         sectors_per_row = (phase + span + sector - 1) // sector
         tx_equiv = sectors_per_row * sector / layout.line_bytes
+        record(tx_equiv)
         stats.add_raw(
             kind=KIND_WRITE,
             instructions=instr_per_row * rows,
@@ -78,6 +94,7 @@ def add_row_region(
             requested_bytes=requested,
         )
         return
+    record(tx_per_row)
 
     total_tx = tx_per_row * rows
     halo_tx = total_tx * halo_fraction
@@ -116,8 +133,21 @@ def add_column_strip(
     partition-serialization penalty.
     """
     if rows <= 0 or width_elems <= 0:
-        raise ValueError("strip must be non-empty")
+        raise ConfigurationError(
+            "strip must be non-empty", rule="CFG-POSITIVE"
+        )
     tx_per_row = layout.avg_row_transactions(x_start_rel, width_elems, tile_stride)
+    stats.regions.append(RegionRecord(
+        kind=KIND_HALO,
+        x_start_rel=x_start_rel,
+        width_elems=width_elems,
+        rows=rows,
+        tile_stride=tile_stride,
+        elem_bytes=layout.elem_bytes,
+        vec_width=1,
+        avg_row_transactions=tx_per_row,
+        camped=True,
+    ))
     stats.add_raw(
         kind=KIND_HALO,
         instructions=float(rows),
@@ -150,6 +180,17 @@ def add_corner_patches(
     for x_rel in (-radius, tile_x):
         tx_per_row = layout.avg_row_transactions(x_rel, radius, tile_stride)
         # Two corners (top and bottom) share this x position.
+        stats.regions.append(RegionRecord(
+            kind=KIND_HALO,
+            x_start_rel=x_rel,
+            width_elems=radius,
+            rows=2 * radius,
+            tile_stride=tile_stride,
+            elem_bytes=layout.elem_bytes,
+            vec_width=1,
+            avg_row_transactions=tx_per_row,
+            camped=True,
+        ))
         stats.add_raw(
             kind=KIND_HALO,
             instructions=float(2 * radius),

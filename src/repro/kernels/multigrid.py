@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError, StencilDefinitionError
 from repro.gpusim.arch import WARP_SIZE
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.memory import KIND_HALO, KIND_INTERIOR, KIND_WRITE, MemoryStats
@@ -52,7 +53,9 @@ class MultiGridKernel(KernelPlan):
     ) -> None:
         super().__init__(block, dtype)
         if method not in METHODS:
-            raise ValueError(f"unknown method {method!r}; pick one of {METHODS}")
+            raise ConfigurationError(
+                f"unknown method {method!r}; pick one of {METHODS}"
+            )
         self.expr = expr
         self.method = method
         self.variant = f"{method}-{expr.name}"
@@ -263,9 +266,10 @@ class MultiGridKernel(KernelPlan):
     def execute(self, *grids: np.ndarray) -> list[np.ndarray]:
         """One sweep over the expression's input grids."""
         if len(grids) != self.expr.n_grids:
-            raise ValueError(
+            raise StencilDefinitionError(
                 f"{self.expr.name} needs {self.expr.n_grids} input grids, "
-                f"got {len(grids)}"
+                f"got {len(grids)}",
+                rule="DSL-ARITY",
             )
         ins = [np.asarray(g, dtype=self.dtype) for g in grids]
         if self.method == "inplane":

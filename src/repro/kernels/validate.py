@@ -47,9 +47,12 @@ def check_exact_cover(lx: int, ly: int, block: BlockConfig) -> None:
         if covered[y][x] != 1
     ]
     if bad:
+        x0, y0 = bad[0]
+        over = covered[y0][x0] > 1
         raise ConfigurationError(
             f"tiling {block.label()} covers {len(bad)} points of "
-            f"{lx}x{ly} a wrong number of times (first: {bad[0]})"
+            f"{lx}x{ly} a wrong number of times (first: {bad[0]})",
+            rule="COV-TILE-OVERLAP" if over else "COV-TILE-GAP",
         )
 
 

@@ -89,12 +89,14 @@ class StencilExpr:
                 if tap.grid >= self.n_grids:
                     raise StencilDefinitionError(
                         f"output {out.name!r} taps grid {tap.grid}, but the "
-                        f"stencil declares only {self.n_grids} inputs"
+                        f"stencil declares only {self.n_grids} inputs",
+                        rule="DSL-UNDEF-GRID",
                     )
                 if tap.coeff_grid is not None and tap.coeff_grid >= self.n_grids:
                     raise StencilDefinitionError(
                         f"output {out.name!r} uses coeff grid {tap.coeff_grid}, "
-                        f"but the stencil declares only {self.n_grids} inputs"
+                        f"but the stencil declares only {self.n_grids} inputs",
+                        rule="DSL-UNDEF-GRID",
                     )
 
     # ------------------------------------------------------------------

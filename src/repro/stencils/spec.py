@@ -47,7 +47,8 @@ class SymmetricStencil:
         if len(self.coefficients) != self.radius + 1:
             raise StencilDefinitionError(
                 f"order-{self.order} stencil needs {self.radius + 1} coefficients "
-                f"(c0..c{self.radius}), got {len(self.coefficients)}"
+                f"(c0..c{self.radius}), got {len(self.coefficients)}",
+                rule="DSL-ARITY",
             )
 
     @property

@@ -8,8 +8,9 @@ file) are skipped, exactly as a real tuner skips launch failures.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
+from repro.analysis.resources import launch_failure
 from repro.errors import ResourceLimitError, TuningError
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.executor import DeviceExecutor
@@ -26,14 +27,33 @@ def evaluate_configs(
     configs: list[BlockConfig],
     device: DeviceSpec,
     grid_shape: tuple[int, int, int],
+    *,
+    prefilter: bool = True,
+    stats: dict[str, Any] | None = None,
 ) -> list[TuneEntry]:
-    """Execute each configuration; unlaunchable ones are dropped."""
+    """Execute each configuration; unlaunchable ones are dropped.
+
+    With ``prefilter`` (the default) the static resource check rejects
+    unlaunchable configurations from the workload record alone, skipping
+    the full timing pipeline; :func:`launch_failure` runs the identical
+    occupancy check the executor would, so the surviving set — and hence
+    the chosen optimum — is unchanged.  ``stats`` (optional, mutated in
+    place) receives ``rejected_static`` / ``rejected_simulated`` counts.
+    """
     executor = DeviceExecutor(device)
     entries: list[TuneEntry] = []
+    rejected_static = 0
+    rejected_simulated = 0
     for cfg in configs:
+        plan = build(cfg)
+        block = plan.block_workload(device, grid_shape)
+        if prefilter and launch_failure(block, device) is not None:
+            rejected_static += 1
+            continue
         try:
-            report = executor.run(build(cfg), grid_shape)
+            report = executor.run(plan, grid_shape, block=block)
         except ResourceLimitError:
+            rejected_simulated += 1
             continue
         entries.append(
             TuneEntry(
@@ -46,6 +66,9 @@ def evaluate_configs(
                 },
             )
         )
+    if stats is not None:
+        stats["rejected_static"] = rejected_static
+        stats["rejected_simulated"] = rejected_simulated
     return entries
 
 
@@ -70,10 +93,15 @@ def exhaustive_tune(
     device: DeviceSpec,
     grid_shape: tuple[int, int, int],
     space: ParameterSpace | None = None,
+    *,
+    prefilter: bool = True,
 ) -> TuneResult:
     """Run the full feasible space; return the ranked result."""
     configs = feasible_configs(build, device, grid_shape, space)
-    entries = evaluate_configs(build, configs, device, grid_shape)
+    stats: dict[str, Any] = {}
+    entries = evaluate_configs(
+        build, configs, device, grid_shape, prefilter=prefilter, stats=stats
+    )
     if not entries:
         raise TuningError(
             f"no configuration could be launched on {device.name} for {grid_shape}"
@@ -85,4 +113,5 @@ def exhaustive_tune(
         evaluated=len(entries),
         space_size=len(configs),
         method="exhaustive",
+        info=stats,
     )

@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from repro.analysis.resources import launch_failure
 from repro.errors import ResourceLimitError, TuningError
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.executor import DeviceExecutor
@@ -35,10 +36,16 @@ def model_based_tune(
     grid_shape: tuple[int, int, int],
     beta: float = 0.05,
     space: ParameterSpace | None = None,
+    *,
+    prefilter: bool = True,
 ) -> TuneResult:
     """Tune by executing only the model's top ``beta`` fraction.
 
     ``beta`` is a fraction in (0, 1]; the paper's default cutoff is 5%.
+    The shortlist size N is always computed from the *full* feasible
+    space; ``prefilter`` only replaces the simulator's launch-failure
+    discovery with the equivalent static check, so the measured set and
+    the winner are unchanged.
     """
     if not 0.0 < beta <= 1.0:
         raise TuningError(f"beta must be in (0, 1], got {beta}")
@@ -58,10 +65,17 @@ def model_based_tune(
 
     executor = DeviceExecutor(device)
     entries: list[TuneEntry] = []
+    stats = {"rejected_static": 0, "rejected_simulated": 0}
     for cfg, predicted in shortlist:
+        plan = build(cfg)
+        block = plan.block_workload(device, grid_shape)
+        if prefilter and launch_failure(block, device) is not None:
+            stats["rejected_static"] += 1
+            continue
         try:
-            report = executor.run(build(cfg), grid_shape)
+            report = executor.run(plan, grid_shape, block=block)
         except ResourceLimitError:
+            stats["rejected_simulated"] += 1
             continue
         entries.append(
             TuneEntry(
@@ -86,4 +100,5 @@ def model_based_tune(
         evaluated=len(entries),
         space_size=len(configs),
         method="model",
+        info=stats,
     )

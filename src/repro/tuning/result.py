@@ -34,7 +34,11 @@ class TuneResult:
         How many configurations were actually run vs. the feasible space
         size — the model-based tuner's economy metric (section VI).
     method:
-        ``"exhaustive"`` or ``"model"``.
+        ``"exhaustive"``, ``"stochastic"`` or ``"model"``.
+    info:
+        Run-level diagnostics, e.g. ``rejected_static`` (configurations
+        the static analyzer pre-filtered without execution) and
+        ``rejected_simulated`` (launch failures the simulator caught).
     """
 
     best: TuneEntry
@@ -42,6 +46,7 @@ class TuneResult:
     evaluated: int
     space_size: int
     method: str
+    info: dict[str, Any] = field(default_factory=dict)
 
     @property
     def best_config(self) -> BlockConfig:

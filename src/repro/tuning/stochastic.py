@@ -16,6 +16,7 @@ import math
 import random
 from typing import Callable
 
+from repro.analysis.resources import launch_failure
 from repro.errors import ResourceLimitError, TuningError
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.executor import DeviceExecutor
@@ -64,12 +65,18 @@ def stochastic_tune(
     seed: int = 0,
     initial_temperature: float = 0.15,
     space: ParameterSpace | None = None,
+    prefilter: bool = True,
 ) -> TuneResult:
     """Simulated-annealing search executing at most ``budget`` configs.
 
     Deterministic for a given ``seed``.  The returned
     :class:`TuneResult` reports the best measured configuration and every
     configuration actually executed, like the other tuners.
+
+    ``prefilter`` short-circuits unlaunchable configurations through the
+    static resource check; they still score 0.0 and still spend budget
+    (exactly like the simulator's launch failure), so the walk — and the
+    winner — is bit-identical with the filter on or off.
     """
     if budget < 1:
         raise TuningError(f"budget must be >= 1, got {budget}")
@@ -80,16 +87,24 @@ def stochastic_tune(
     executor = DeviceExecutor(device)
 
     measured: dict[BlockConfig, float] = {}
+    stats = {"rejected_static": 0, "rejected_simulated": 0}
 
     def measure(cfg: BlockConfig) -> float | None:
         if cfg in measured:
             return measured[cfg]
         if len(measured) >= budget:
             return None
-        try:
-            rate = executor.run(build(cfg), grid_shape).mpoints_per_s
-        except ResourceLimitError:
+        plan = build(cfg)
+        block = plan.block_workload(device, grid_shape)
+        if prefilter and launch_failure(block, device) is not None:
+            stats["rejected_static"] += 1
             rate = 0.0
+        else:
+            try:
+                rate = executor.run(plan, grid_shape, block=block).mpoints_per_s
+            except ResourceLimitError:
+                stats["rejected_simulated"] += 1
+                rate = 0.0
         measured[cfg] = rate
         return rate
 
@@ -143,4 +158,5 @@ def stochastic_tune(
         evaluated=len(entries),
         space_size=len(configs),
         method="stochastic",
+        info=dict(stats),
     )

@@ -1,0 +1,114 @@
+"""End-to-end `repro lint` CLI contract and the codegen gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.codegen.cuda import generate_kernel
+from repro.errors import ConfigurationError
+from repro.gpusim.device import get_device
+from repro.kernels.config import BlockConfig
+from repro.kernels.inplane import InPlaneKernel
+from repro.stencils.spec import symmetric
+
+CLEAN = ["lint", "--kernel", "inplane_fullslice", "--order", "2",
+         "--block", "32,4,1,4"]
+
+
+class TestLintExitCodes:
+    def test_clean_plan_exits_zero(self, capsys):
+        assert main(CLEAN) == 0
+        out = capsys.readouterr().out
+        assert "error" not in out.splitlines()[0].lower()
+
+    def test_injected_overlap_exits_nonzero(self, capsys):
+        code = main(CLEAN + ["--tile-stride", "24,16"])
+        assert code == 1
+        assert "COV-TILE-OVERLAP" in capsys.readouterr().out
+
+    def test_injected_gap_exits_nonzero(self, capsys):
+        code = main(CLEAN + ["--tile-stride", "40,16"])
+        assert code == 1
+        assert "COV-TILE-GAP" in capsys.readouterr().out
+
+    def test_tiny_grid_exits_nonzero(self, capsys):
+        code = main(["lint", "--kernel", "inplane_fullslice", "--order", "8",
+                     "--block", "16,1", "--grid", "8,64,64"])
+        assert code == 1
+        assert "HALO-GRID-SMALL" in capsys.readouterr().out
+
+    def test_invalid_block_is_reported_not_raised(self, capsys):
+        code = main(["lint", "--kernel", "inplane_fullslice", "--order", "2",
+                     "--block", "0,4"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "CFG-" in out or "error" in out
+
+    def test_unknown_kernel_is_reported_not_raised(self, capsys):
+        code = main(["lint", "--kernel", "not_a_kernel", "--order", "2",
+                     "--block", "32,4"])
+        assert code == 1
+
+
+class TestLintOutputModes:
+    def test_json_output_is_machine_readable(self, capsys):
+        code = main(CLEAN + ["--tile-stride", "24,16", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert "COV-TILE-OVERLAP" in rules
+        for d in payload["diagnostics"]:
+            assert {"rule", "severity", "location", "message"} <= set(d)
+
+    def test_suppress_drops_a_rule_and_flips_the_exit_code(self, capsys):
+        code = main(["lint", "--kernel", "inplane_fullslice", "--order", "2",
+                     "--block", "32,4", "--tile-stride", "24,4",
+                     "--suppress", "COV-TILE-OVERLAP", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert "COV-TILE-OVERLAP" not in rules
+        assert code == 0
+
+    def test_inline_stencil_source(self, capsys):
+        code = main(["lint", "--stencil",
+                     "out[i,j,k] = 0.5*u[i,j,k] + 0.25*u[i+1,j,k] + 0.25*u[i-1,j,k]"])
+        assert code == 0
+
+    def test_broken_stencil_source(self, capsys):
+        code = main(["lint", "--stencil", "out = %%% nope"])
+        assert code == 1
+        assert "DSL-PARSE" in capsys.readouterr().out
+
+    def test_stencil_file(self, tmp_path, capsys):
+        path = tmp_path / "s.stencil"
+        path.write_text("out[i,j,k] = u[i,j,k]\n")
+        code = main(["lint", "--stencil-file", str(path)])
+        # A pointwise program lints clean at error level (warnings only).
+        assert code == 0
+
+
+class TestCodegenGate:
+    def test_clean_plan_generates(self):
+        plan = InPlaneKernel(symmetric(2), BlockConfig(32, 4))
+        src = generate_kernel(plan, grid_shape=(512, 512, 64),
+                              device=get_device("gtx580"))
+        assert src.line_count() > 0
+
+    def test_oversized_tile_is_refused(self):
+        plan = InPlaneKernel(symmetric(8), BlockConfig(512, 1, 4, 8))
+        with pytest.raises(ConfigurationError) as err:
+            generate_kernel(plan, grid_shape=(512, 512, 64))
+        assert err.value.rule is not None
+
+    def test_gate_without_context_passes_structural_plans(self):
+        # No device/grid supplied: only structural families run.
+        plan = InPlaneKernel(symmetric(2), BlockConfig(32, 4))
+        assert generate_kernel(plan).line_count() > 0
+
+    def test_cli_codegen_still_works(self, capsys):
+        code = main(["codegen", "--kernel", "inplane_fullslice",
+                     "--order", "2", "--block", "32,4"])
+        assert code == 0
+        assert "__global__" in capsys.readouterr().out

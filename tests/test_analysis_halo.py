@@ -1,0 +1,85 @@
+"""Out-of-bounds halo analysis."""
+
+from repro.analysis import analyze_plan
+from repro.analysis.halo import grid_halo_diagnostics, workload_halo_diagnostics
+from repro.gpusim.device import get_device
+from repro.kernels.config import BlockConfig
+from repro.kernels.inplane import InPlaneKernel
+from repro.kernels.multigrid import MultiGridKernel
+from repro.stencils.expr import OutputSpec, StencilExpr, Tap
+from repro.stencils.spec import symmetric
+
+
+def plan_of(order=2, tx=32, ty=4, rx=1, ry=1):
+    return InPlaneKernel(symmetric(order), BlockConfig(tx, ty, rx, ry))
+
+
+class TestGridHalo:
+    def test_roomy_grid_is_clean(self):
+        assert grid_halo_diagnostics(plan_of(), (64, 64, 64)) == []
+
+    def test_grid_smaller_than_extent(self):
+        # radius-4 stencil needs 9 planes; give it 8.
+        diags = grid_halo_diagnostics(plan_of(order=8, tx=16, ty=1), (8, 64, 64))
+        assert "HALO-GRID-SMALL" in {d.rule for d in diags}
+
+    def test_tile_exceeding_plane(self):
+        diags = grid_halo_diagnostics(plan_of(tx=128, ty=1), (64, 64, 64))
+        assert "HALO-TILE-EXCEEDS" in {d.rule for d in diags}
+
+    def test_tap_reaching_past_the_grid(self):
+        expr = StencilExpr(
+            name="longreach",
+            n_grids=1,
+            outputs=(
+                OutputSpec(
+                    name="out",
+                    taps=(
+                        Tap(grid=0, offset=(0, 0, 0), coeff=1.0),
+                        Tap(grid=0, offset=(40, 0, 0), coeff=1.0),
+                        Tap(grid=0, offset=(-40, 0, 0), coeff=1.0),
+                    ),
+                ),
+            ),
+        )
+        plan = MultiGridKernel(expr, BlockConfig(16, 4))
+        diags = grid_halo_diagnostics(plan, (32, 512, 512))
+        oob = [d for d in diags if d.rule == "HALO-TAP-OOB"]
+        # Both long taps overreach x=32; the centre tap is fine.
+        assert len(oob) == 2
+
+    def test_symmetric_plans_have_no_taps_to_check(self):
+        # Symmetric kernels carry a spec, not an expr — only the extent
+        # checks apply.
+        assert grid_halo_diagnostics(plan_of(), (512, 512, 64)) == []
+
+
+class TestWorkloadHalo:
+    def test_healthy_workload_is_clean(self):
+        device = get_device("gtx580")
+        plan = plan_of()
+        wl = plan.block_workload(device, (512, 512, 64))
+        assert workload_halo_diagnostics(plan, wl, (512, 512, 64)) == []
+
+    def test_short_shared_buffer_flagged(self):
+        class ShortSmem(InPlaneKernel):
+            def smem_tile_bytes(self, halo_x, halo_y):
+                return 8  # declared buffer far below one bare tile plane
+
+        device = get_device("gtx580")
+        plan = ShortSmem(symmetric(2), BlockConfig(32, 4))
+        wl = plan.block_workload(device, (512, 512, 64))
+        diags = workload_halo_diagnostics(plan, wl, (512, 512, 64))
+        assert "HALO-SMEM-SHORT" in {d.rule for d in diags}
+        report = analyze_plan(plan, device=device, grid_shape=(512, 512, 64))
+        assert not report.ok
+
+    def test_prologue_swallowing_the_grid(self):
+        device = get_device("gtx580")
+        plan = plan_of(order=8, tx=16, ty=1)
+        # lz=9 satisfies the 2r+1 extent, but an order-8 pipeline still
+        # spends >= lz planes filling.
+        wl = plan.block_workload(device, (512, 512, 9))
+        if wl.prologue_planes >= 9:
+            diags = workload_halo_diagnostics(plan, wl, (512, 512, 9))
+            assert "HALO-PROLOGUE" in {d.rule for d in diags}

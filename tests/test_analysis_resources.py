@@ -1,0 +1,145 @@
+"""Resource pre-checks: provable agreement with the executor, and tuner
+optima invariance under the static pre-filter."""
+
+import pytest
+
+from repro.analysis.resources import (
+    effective_registers,
+    launch_failure,
+    resource_diagnostics,
+)
+from repro.errors import ResourceLimitError
+from repro.gpusim.device import get_device
+from repro.gpusim.executor import DeviceExecutor
+from repro.kernels.config import BlockConfig
+from repro.kernels.inplane import InPlaneKernel
+from repro.stencils.spec import symmetric
+from repro.tuning.exhaustive import exhaustive_tune, feasible_configs
+from repro.tuning.modelbased import model_based_tune
+from repro.tuning.space import default_space
+from repro.tuning.stochastic import stochastic_tune
+
+GRID = (512, 512, 64)
+
+
+def build(order):
+    spec = symmetric(order)
+    return lambda cfg: InPlaneKernel(spec, cfg)
+
+
+class TestLaunchFailureEquivalence:
+    @pytest.mark.parametrize("order", (2, 8))
+    @pytest.mark.parametrize("device_name", ("gtx580", "gtx680", "gtx285"))
+    def test_static_verdict_equals_executor_verdict_over_default_space(
+        self, order, device_name
+    ):
+        """For every feasible configuration of the default space, the
+        static check and the executor agree on launchability — by
+        construction (same compute_occupancy call), verified here."""
+        device = get_device(device_name)
+        builder = build(order)
+        executor = DeviceExecutor(device)
+        configs = feasible_configs(builder, device, GRID, default_space())
+        assert configs
+        disagreements = []
+        statically_rejected = 0
+        for cfg in configs:
+            plan = builder(cfg)
+            workload = plan.block_workload(device, GRID)
+            static = launch_failure(workload, device)
+            if static is not None:
+                statically_rejected += 1
+            try:
+                executor.run(plan, GRID)
+                dynamic = None
+            except ResourceLimitError as exc:
+                dynamic = str(exc)
+            if (static is None) != (dynamic is None):
+                disagreements.append((cfg, static, dynamic))
+        assert not disagreements, disagreements[:3]
+        if order == 8 and device_name == "gtx580":
+            # The acceptance criterion's "nonzero share": the Table IV
+            # high-order sweep does contain statically rejectable configs.
+            assert statically_rejected > 0
+
+    def test_diagnostics_error_verdict_matches_launch_failure(self):
+        device = get_device("gtx580")
+        builder = build(8)
+        for cfg in feasible_configs(builder, device, GRID, default_space()):
+            plan = builder(cfg)
+            workload = plan.block_workload(device, GRID)
+            diags = resource_diagnostics(plan, workload, device)
+            has_error = any(d.severity.label == "error" for d in diags)
+            assert has_error == (launch_failure(workload, device) is not None), cfg
+
+    def test_spill_is_a_warning_not_a_failure(self):
+        device = get_device("gtx580")
+        plan = InPlaneKernel(symmetric(8), BlockConfig(16, 2, 4, 8))
+        workload = plan.block_workload(device, GRID)
+        assert workload.regs_per_thread > device.rules.max_regs_per_thread
+        assert effective_registers(workload.regs_per_thread, device) == (
+            device.rules.max_regs_per_thread
+        )
+        diags = resource_diagnostics(plan, workload, device)
+        rules = {d.rule for d in diags}
+        assert "RES-SPILL" in rules
+
+    def test_halfwarp_warning(self):
+        device = get_device("gtx580")
+        plan = InPlaneKernel(symmetric(2), BlockConfig(24, 4))
+        workload = plan.block_workload(device, GRID)
+        rules = {d.rule for d in resource_diagnostics(plan, workload, device)}
+        assert "RES-HALFWARP" in rules
+
+    def test_threads_overflow_short_circuits(self):
+        device = get_device("gtx580")
+        plan = InPlaneKernel(symmetric(2), BlockConfig(256, 8))  # 2048 threads
+        workload = plan.block_workload(device, GRID)
+        diags = resource_diagnostics(plan, workload, device)
+        assert [d.rule for d in diags if d.severity.label == "error"] == [
+            "RES-THREADS"
+        ]
+        assert launch_failure(workload, device) is not None
+
+
+class TestTunerPrefilterInvariance:
+    """The acceptance criterion: the pre-filter must change NO chosen
+    optimum while statically rejecting a nonzero share."""
+
+    def test_exhaustive_identical_with_and_without(self):
+        device = get_device("gtx580")
+        builder = build(8)
+        with_f = exhaustive_tune(builder, device, GRID, prefilter=True)
+        without = exhaustive_tune(builder, device, GRID, prefilter=False)
+        assert with_f.best_config == without.best_config
+        assert with_f.best_mpoints == without.best_mpoints
+        assert [e.config for e in with_f.entries] == [
+            e.config for e in without.entries
+        ]
+        assert with_f.info["rejected_static"] > 0
+        assert with_f.info["rejected_simulated"] == 0
+        assert without.info["rejected_static"] == 0
+        assert without.info["rejected_simulated"] == with_f.info["rejected_static"]
+
+    def test_stochastic_walk_bit_identical(self):
+        device = get_device("gtx580")
+        builder = build(8)
+        kw = dict(budget=25, seed=3)
+        with_f = stochastic_tune(builder, device, GRID, prefilter=True, **kw)
+        without = stochastic_tune(builder, device, GRID, prefilter=False, **kw)
+        assert with_f.best_config == without.best_config
+        assert [e.config for e in with_f.entries] == [
+            e.config for e in without.entries
+        ]
+
+    def test_model_based_shortlist_unchanged(self):
+        device = get_device("gtx580")
+        builder = build(8)
+        with_f = model_based_tune(builder, device, GRID, beta=0.25, prefilter=True)
+        without = model_based_tune(builder, device, GRID, beta=0.25, prefilter=False)
+        assert with_f.best_config == without.best_config
+        assert [e.config for e in with_f.entries] == [
+            e.config for e in without.entries
+        ]
+        # N is computed from the full space either way.
+        assert with_f.space_size == without.space_size

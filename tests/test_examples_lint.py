@@ -1,0 +1,53 @@
+"""Regression: every plan the examples construct must lint clean.
+
+Each example module exposes ``plans()`` returning the (plan, grid_shape)
+pairs its ``main()`` drives.  Running the static analyzer over all of
+them pins down two things at once: the examples never ship a broken
+configuration, and the analyzer never regresses into false-positive
+errors on known-good plans (warnings and notes are fine — several
+examples deliberately use untuned blocks).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_plan
+from repro.gpusim.device import get_device
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    name = f"_example_{path.stem}"
+    if name in sys.modules:
+        return sys.modules[name]
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_example_declares_plans():
+    assert EXAMPLE_FILES, "examples/ directory is empty?"
+    for path in EXAMPLE_FILES:
+        module = _load(path)
+        assert hasattr(module, "plans"), f"{path.name} lacks a plans() hook"
+        assert module.plans(), f"{path.name}.plans() returned nothing"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_plans_lint_clean(path):
+    device = get_device("gtx580")
+    for plan, grid_shape in _load(path).plans():
+        report = analyze_plan(plan, device=device, grid_shape=grid_shape)
+        assert report.ok, (
+            f"{path.name}: {plan.name} has error-level findings:\n"
+            + "\n".join(d.render() for d in report.errors)
+        )

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.gpusim.memory import MemoryStats, KIND_HALO, KIND_INTERIOR, KIND_WRITE
 from repro.kernels.layout import GridLayout
 from repro.kernels.loads import add_column_strip, add_corner_patches, add_row_region
@@ -59,7 +60,7 @@ class TestRowRegion:
         assert stats.store_transferred_bytes == pytest.approx(32 * 4 * 4)
 
     def test_rejects_empty(self, layout):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             add_row_region(
                 MemoryStats(), layout, x_start_rel=0, width_elems=0, rows=1,
                 tile_stride=64,

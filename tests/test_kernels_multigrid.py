@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError, StencilDefinitionError
 from repro.gpusim.device import get_device
 from repro.kernels.config import BlockConfig
 from repro.kernels.multigrid import MultiGridKernel
@@ -41,13 +42,13 @@ class TestNumerics:
 
     def test_wrong_grid_count(self, rng):
         plan = MultiGridKernel(APPLICATIONS["div"], BLOCK)
-        with pytest.raises(ValueError):
+        with pytest.raises(StencilDefinitionError):
             plan.execute(rng.random((8, 8, 8)))
 
 
 class TestWorkloads:
     def test_unknown_method(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             MultiGridKernel(APPLICATIONS["div"], BLOCK, method="sideways")
 
     def test_hyperthermia_traffic_mostly_method_independent(self, gtx580):

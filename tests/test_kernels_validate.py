@@ -51,3 +51,55 @@ class TestPredicates:
     def test_halo_fits(self):
         assert halo_fits(9, 9, 9, 4)
         assert not halo_fits(8, 9, 9, 4)
+
+
+class TestEdgeCases:
+    """Edge cases added with the static-analysis framework: degenerate
+    blocks, stencil reach beyond the tile, and the rule-id contract of
+    check_exact_cover's failure modes."""
+
+    @pytest.mark.parametrize("bad", [(0, 4), (32, 0), (32, 4, 0, 1), (32, 4, 1, -1)])
+    def test_zero_sized_blocks_rejected_with_rule(self, bad):
+        with pytest.raises(ConfigurationError) as err:
+            BlockConfig(*bad)
+        assert err.value.rule == "CFG-POSITIVE"
+
+    def test_non_divisible_grid_still_covers_exactly(self):
+        # Partial edge tiles clip against the plane; coverage stays exact.
+        check_exact_cover(500, 300, BlockConfig(32, 4, 1, 4))
+        assert not divides_evenly(500, 300, BlockConfig(32, 4, 1, 4))
+
+    def test_register_tiled_plans_cover_exactly(self):
+        for rx, ry in ((2, 1), (1, 8), (4, 4)):
+            check_exact_cover(512, 512, BlockConfig(16, 4, rx, ry))
+
+    def test_radius_larger_than_tile_is_a_halo_problem_not_a_cover_problem(self):
+        # A radius-8 stencil on an 8-wide tile covers fine; the halo
+        # predicate is what refuses it on a small grid.
+        block = BlockConfig(8, 1)
+        check_exact_cover(64, 64, block)
+        assert not halo_fits(8, 64, 64, 8)
+        assert halo_fits(17, 64, 64, 8)
+
+    def test_single_point_plane(self):
+        check_exact_cover(1, 1, BlockConfig(16, 16))
+
+    def test_overlap_rule_id(self, monkeypatch):
+        import repro.kernels.validate as validate
+
+        monkeypatch.setattr(
+            validate, "tile_origins", lambda lx, ly, block: [(0, 0), (0, 0)]
+        )
+        with pytest.raises(ConfigurationError) as err:
+            validate.check_exact_cover(16, 8, BlockConfig(16, 8))
+        assert err.value.rule == "COV-TILE-OVERLAP"
+
+    def test_gap_rule_id(self, monkeypatch):
+        import repro.kernels.validate as validate
+
+        monkeypatch.setattr(
+            validate, "tile_origins", lambda lx, ly, block: [(0, 0)]
+        )
+        with pytest.raises(ConfigurationError) as err:
+            validate.check_exact_cover(32, 8, BlockConfig(16, 8))
+        assert err.value.rule == "COV-TILE-GAP"

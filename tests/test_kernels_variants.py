@@ -194,7 +194,7 @@ class TestFactory:
         }
 
     def test_unknown_variant_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             InPlaneKernel(symmetric(2), BLOCK, variant="diagonal")
 
     def test_name_includes_order_and_dtype(self):

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Repository quality gate.
+
+Runs, in order:
+
+1. ``ruff check`` over ``src``, ``tests``, ``benchmarks``, ``examples``
+2. ``mypy`` over ``src/repro`` (strict on ``repro.analysis``, advisory
+   elsewhere — see ``pyproject.toml``)
+3. the tier-1 test suite (``pytest tests/``)
+
+Static tools that are not installed are reported as *skipped* and do not
+fail the gate — the container bakes in the runtime toolchain but not
+necessarily the linters.  The test suite is mandatory: if pytest is
+missing the gate fails.
+
+Exit code: 0 when every step passed or was skipped, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run(label: str, cmd: list[str], *, required: bool, env: dict | None = None) -> str:
+    """Run one gate step; returns 'ok' | 'skipped' | 'FAILED'."""
+    if shutil.which(cmd[0]) is None:
+        if required:
+            print(f"[check] {label}: FAILED ({cmd[0]} not found and required)")
+            return "FAILED"
+        print(f"[check] {label}: skipped (not installed)")
+        return "skipped"
+    print(f"[check] {label}: {' '.join(cmd)}")
+    proc = subprocess.run(cmd, cwd=REPO, env=env)
+    status = "ok" if proc.returncode == 0 else "FAILED"
+    print(f"[check] {label}: {status}")
+    return status
+
+
+def main() -> int:
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+
+    results = {
+        "ruff": run(
+            "ruff",
+            ["ruff", "check", "src", "tests", "benchmarks", "examples"],
+            required=False,
+        ),
+        "mypy": run("mypy", ["mypy"], required=False),
+        "pytest": run(
+            "pytest",
+            [sys.executable, "-m", "pytest", "tests", "-q"],
+            required=True,
+            env=env,
+        ),
+    }
+
+    print("[check] summary: " + "  ".join(f"{k}={v}" for k, v in results.items()))
+    return 1 if "FAILED" in results.values() else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
