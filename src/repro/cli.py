@@ -5,9 +5,14 @@ Usage::
     repro list-devices
     repro list-kernels
     repro simulate --kernel inplane_fullslice --order 4 --device gtx580 \
-                   --block 32,4,1,4 [--dtype dp] [--grid 512,512,256]
+                   --block 32,4,1,4 [--dtype dp] [--grid 512,512,256] \
+                   [--trace trace.json]
     repro tune --kernel inplane_fullslice --order 2 --device gtx680 \
-               [--method model --beta 0.05] [--no-register-blocking]
+               [--method model --beta 0.05] [--no-register-blocking] \
+               [--trace trace.json]
+    repro profile --kernel inplane_fullslice --order 4 --device gtx580 \
+                  [--trace-out trace.json] [--json] [--top 8]
+    repro profile --compare --order 4 --block 32,4,1,2
     repro experiment fig7 [--out fig7.csv]
     repro experiment all --out-dir results/
     repro codegen --kernel inplane_fullslice --order 4 --block 32,4,1,4 \
@@ -24,12 +29,18 @@ crossover); ``repro codegen`` emits the CUDA C for a kernel plan;
 ``repro scaling`` runs the multi-GPU slab-decomposition cost model;
 ``repro lint`` runs the static analyzer (``repro.analysis``) over a plan
 or a DSL program without executing anything, exiting 1 when any
-error-level diagnostic fires.
+error-level diagnostic fires; ``repro profile`` runs the simulated-GPU
+profiler (``repro.obs``) and can export Perfetto-viewable Chrome traces.
+
+Output conventions: primary and machine-readable results go to stdout
+(``--json`` modes stay pipe-clean); diagnostics ("wrote ...", progress)
+go through :mod:`logging` to stderr, at a verbosity set by ``-v`` / ``-q``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
@@ -39,6 +50,22 @@ from repro.gpusim.executor import simulate
 from repro.kernels.config import BlockConfig
 from repro.kernels.factory import KERNEL_FAMILIES, make_kernel
 from repro.stencils.spec import symmetric
+
+log = logging.getLogger("repro")
+
+
+def _setup_logging(verbosity: int) -> None:
+    """stderr diagnostics at WARNING/INFO/DEBUG per -q/-v count."""
+    level = (
+        logging.ERROR if verbosity < 0
+        else logging.INFO if verbosity == 0
+        else logging.DEBUG
+    )
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    root = logging.getLogger("repro")
+    root.handlers[:] = [handler]
+    root.setLevel(level)
 
 
 def _parse_ints(text: str, n: int | None = None) -> tuple[int, ...]:
@@ -65,13 +92,36 @@ def _cmd_list_kernels(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _maybe_tracing(args: argparse.Namespace):
+    """An active tracer context when ``--trace`` was given, inert otherwise."""
+    from contextlib import nullcontext
+
+    from repro.obs import tracing
+
+    if getattr(args, "trace", None):
+        return tracing()
+    return nullcontext(None)
+
+
+def _finish_trace(tracer, path: str | None) -> None:
+    """Write the Chrome trace (if requested) and log where it went."""
+    if tracer is None or not path:
+        return
+    from repro.obs import write_chrome_trace
+
+    write_chrome_trace(tracer, path)
+    log.info("wrote trace %s (open in https://ui.perfetto.dev)", path)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     block = BlockConfig(*_parse_ints(args.block))
     plan = make_kernel(args.kernel, symmetric(args.order), block, args.dtype)
-    report = simulate(plan, args.device, _parse_ints(args.grid, 3))
+    with _maybe_tracing(args) as tracer:
+        report = simulate(plan, args.device, _parse_ints(args.grid, 3))
     print(report.summary())
     for key, value in sorted(report.breakdown.items()):
         print(f"  {key}: {value:.1f}")
+    _finish_trace(tracer, args.trace)
     return 0
 
 
@@ -79,24 +129,26 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from repro import autotune
     from repro.harness.runner import tune_family
 
-    if args.method == "model":
-        result = autotune(
-            args.kernel, args.order, args.device,
-            grid_shape=_parse_ints(args.grid, 3), dtype=args.dtype,
-            method="model", beta=args.beta,
-        )
-    else:
-        result = tune_family(
-            args.kernel, args.order, args.device, dtype=args.dtype,
-            grid=_parse_ints(args.grid, 3),
-            register_blocking=not args.no_register_blocking,
-        )
+    with _maybe_tracing(args) as tracer:
+        if args.method == "model":
+            result = autotune(
+                args.kernel, args.order, args.device,
+                grid_shape=_parse_ints(args.grid, 3), dtype=args.dtype,
+                method="model", beta=args.beta,
+            )
+        else:
+            result = tune_family(
+                args.kernel, args.order, args.device, dtype=args.dtype,
+                grid=_parse_ints(args.grid, 3),
+                register_blocking=not args.no_register_blocking,
+            )
     print(result.summary())
     for entry in result.entries[:10]:
         line = f"  {entry.config.label():>18} {entry.mpoints_per_s:10.1f} MPt/s"
         if entry.predicted is not None:
             line += f"  (model: {entry.predicted:10.1f})"
         print(line)
+    _finish_trace(tracer, args.trace)
     return 0
 
 
@@ -125,12 +177,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         result = func()
         if args.out and args.name != "all":
             path = write_result(result, args.out)
-            print(f"wrote {path}")
+            log.info("wrote %s", path)
         elif args.out_dir:
             out = Path(args.out_dir)
             out.mkdir(parents=True, exist_ok=True)
             path = write_result(result, out / f"{name}.txt")
-            print(f"wrote {path}")
+            log.info("wrote %s", path)
         else:
             print(result.render())
             print()
@@ -148,7 +200,7 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
         text += "\n" + generate_host_driver(plan, _parse_ints(args.grid, 3))
     if args.out:
         Path(args.out).write_text(text)
-        print(f"wrote {args.out} ({src.line_count()} kernel lines)")
+        log.info("wrote %s (%d kernel lines)", args.out, src.line_count())
     else:
         print(text)
     return 0
@@ -204,37 +256,69 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    """nvprof-style counter comparison of the loading variants."""
+    """The simulated-GPU profiler (``repro.obs``).
+
+    Default mode traces one kernel and prints the flame/summary report;
+    ``--compare`` prints the nvprof-style counter table over all loading
+    variants instead.  ``--trace-out`` exports a Perfetto-viewable Chrome
+    trace; ``--json`` replaces stdout with machine-readable telemetry.
+    """
+    from repro.obs import (
+        TelemetryCollector,
+        Tracer,
+        summarize,
+        tracing,
+        write_chrome_trace,
+    )
     from repro.utils.tables import format_table
 
     block = BlockConfig(*_parse_ints(args.block))
     grid = _parse_ints(args.grid, 3)
     dev = get_device(args.device)
+    families = (
+        ("nvstencil", "inplane_classical", "inplane_vertical",
+         "inplane_horizontal", "inplane_fullslice")
+        if args.compare else (args.kernel,)
+    )
+
+    collector = TelemetryCollector()
     rows = []
-    for family in ("nvstencil", "inplane_classical", "inplane_vertical",
-                   "inplane_horizontal", "inplane_fullslice"):
-        plan = make_kernel(family, symmetric(args.order), block, args.dtype)
-        wl = plan.block_workload(dev, grid)
-        rep = simulate(plan, dev, grid)
-        mem = wl.memory
-        rows.append((
-            family,
-            round(rep.mpoints_per_s, 1),
-            f"{rep.load_efficiency:.1%}",
-            round(mem.load_instructions, 1),
-            round(mem.load_transactions, 1),
-            round(mem.camped_bytes),
-            mem.load_phases,
-            f"{rep.occupancy.occupancy:.0%}",
-            wl.regs_per_thread,
+    with tracing(Tracer(plane_limit=max(1, args.top))) as tracer:
+        for family in families:
+            plan = make_kernel(family, symmetric(args.order), block, args.dtype)
+            wl = plan.block_workload(dev, grid)
+            rep = simulate(plan, dev, grid)
+            collector.add_report(rep, order=args.order, source="cli.profile")
+            mem = wl.memory
+            rows.append((
+                family,
+                round(rep.mpoints_per_s, 1),
+                f"{rep.load_efficiency:.1%}",
+                round(mem.load_instructions, 1),
+                round(mem.load_transactions, 1),
+                round(mem.camped_bytes),
+                mem.load_phases,
+                f"{rep.occupancy.occupancy:.0%}",
+                wl.regs_per_thread,
+            ))
+
+    if args.json:
+        print(collector.to_json(), end="")
+    elif args.compare:
+        print(format_table(
+            ("variant", "MPt/s", "ld eff", "ld instr", "ld tx", "camped B",
+             "phases", "occ", "regs"),
+            rows,
+            title=(f"profile: order {args.order} {args.dtype.upper()} "
+                   f"{block.label()} on {args.device}"),
         ))
-    print(format_table(
-        ("variant", "MPt/s", "ld eff", "ld instr", "ld tx", "camped B",
-         "phases", "occ", "regs"),
-        rows,
-        title=(f"profile: order {args.order} {args.dtype.upper()} "
-               f"{block.label()} on {args.device}"),
-    ))
+    else:
+        print(summarize(tracer, top=args.top))
+    if args.trace_out:
+        write_chrome_trace(tracer, args.trace_out)
+        log.info(
+            "wrote trace %s (open in https://ui.perfetto.dev)", args.trace_out
+        )
     return 0
 
 
@@ -270,6 +354,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="In-plane stencil method reproduction (Tang et al., 2013)",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more stderr diagnostics (-v: info is default; -vv: debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="errors only on stderr (keeps --json pipelines silent)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-devices", help="list simulated GPUs").set_defaults(
@@ -286,6 +378,8 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--block", default="32,4,1,4", help="TX,TY[,RX,RY]")
     sim.add_argument("--dtype", default="sp", choices=("sp", "dp"))
     sim.add_argument("--grid", default="512,512,256")
+    sim.add_argument("--trace", metavar="PATH",
+                     help="write a Chrome trace of the launch here")
     sim.set_defaults(func=_cmd_simulate)
 
     tune = sub.add_parser("tune", help="auto-tune a kernel family")
@@ -297,6 +391,9 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--method", default="exhaustive", choices=("exhaustive", "model"))
     tune.add_argument("--beta", type=float, default=0.05)
     tune.add_argument("--no-register-blocking", action="store_true")
+    tune.add_argument("--trace", metavar="PATH",
+                      help="write a Chrome trace of the whole sweep here "
+                           "(one tune.trial span per evaluated config)")
     tune.set_defaults(func=_cmd_tune)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -344,12 +441,24 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--stencil-file", help="DSL source file to lint instead")
     lint.set_defaults(func=_cmd_lint)
 
-    prof = sub.add_parser("profile", help="compare variant counters (nvprof-style)")
+    prof = sub.add_parser(
+        "profile", help="profile on the simulated GPU (nvprof/Nsight analogue)"
+    )
+    prof.add_argument("--kernel", default="inplane_fullslice")
     prof.add_argument("--order", type=int, default=4)
     prof.add_argument("--block", default="32,4,1,2")
     prof.add_argument("--dtype", default="sp", choices=("sp", "dp"))
     prof.add_argument("--device", default="gtx580")
     prof.add_argument("--grid", default="512,512,256")
+    prof.add_argument("--compare", action="store_true",
+                      help="counter table over all loading variants instead "
+                           "of the single-kernel flame report")
+    prof.add_argument("--trace-out", metavar="PATH",
+                      help="write a Chrome trace (Perfetto-viewable) here")
+    prof.add_argument("--json", action="store_true",
+                      help="machine-readable telemetry on stdout")
+    prof.add_argument("--top", type=int, default=5, metavar="N",
+                      help="hot planes listed in the summary (default 5)")
     prof.set_defaults(func=_cmd_profile)
 
     sc = sub.add_parser("scaling", help="multi-GPU slab scaling cost model")
@@ -369,6 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    _setup_logging(-1 if args.quiet else args.verbose)
     try:
         return args.func(args)
     except BrokenPipeError:

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.report import SimReport
 from repro.gpusim.timing import TimingParams, params_for, time_kernel
+from repro.obs.tracer import current_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.gpusim.workload import BlockWorkload
@@ -78,7 +79,7 @@ class DeviceExecutor:
         )
         load_eff = mem.requested_load_bytes / eff_loads if eff_loads else 1.0
 
-        return SimReport(
+        report = SimReport(
             device_name=self.device.name,
             kernel_name=plan.name,
             total_cycles=timing.total_cycles,
@@ -106,6 +107,14 @@ class DeviceExecutor:
                 "variant": plan.variant,
             },
         )
+        tracer = current_tracer()
+        if tracer is not None:
+            from repro.obs.simtrace import emit_kernel_spans
+
+            emit_kernel_spans(
+                tracer, report, timing, block, grid, self.device, tp
+            )
+        return report
 
 
 def simulate(

@@ -13,6 +13,21 @@ from typing import Any
 
 from repro.gpusim.occupancy import OccupancyResult
 
+#: The frozen component-name set of :attr:`SimReport.breakdown`.  This is
+#: the single source of truth shared by the executor (which populates the
+#: dict), the trace schema (``repro.obs.schema`` requires ``sim.kernel``
+#: events to carry exactly these keys) and the reconciliation tests.
+#: ``*_cycles_per_plane`` entries price one full-wave plane; the last two
+#: are per-sweep diagnostics, not cycle components.
+BREAKDOWN_KEYS: tuple[str, ...] = (
+    "mem_cycles_per_plane",
+    "compute_cycles_per_plane",
+    "exposed_cycles_per_plane",
+    "sync_cycles_per_plane",
+    "spilled_regs",
+    "bytes_per_block_plane",
+)
+
 
 @dataclass(frozen=True)
 class SimReport:
@@ -57,6 +72,14 @@ class SimReport:
     blocks: int
     breakdown: dict[str, float] = field(default_factory=dict)
     meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.breakdown) - set(BREAKDOWN_KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown breakdown component(s) {sorted(unknown)}; "
+                f"the frozen key set is {BREAKDOWN_KEYS}"
+            )
 
     def summary(self) -> str:
         """One-line human-readable summary."""

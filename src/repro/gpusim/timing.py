@@ -152,7 +152,14 @@ class PlaneCost:
 
 @dataclass(frozen=True)
 class TimingResult:
-    """Full-sweep timing with its per-SM breakdown."""
+    """Full-sweep timing with its per-SM breakdown.
+
+    ``plane_cost`` prices a full wave (``ActBlks`` resident blocks);
+    ``rem_plane_cost`` prices the remainder wave.  Together with
+    ``planes_per_block`` and ``sched_overhead_cycles`` they let the
+    profiler (:mod:`repro.obs.simtrace`) reconstruct the exact per-wave
+    timeline the total was accumulated from.
+    """
 
     total_cycles: float
     occupancy: OccupancyResult
@@ -160,6 +167,9 @@ class TimingResult:
     blocks: int
     rem_blocks_per_sm: int
     plane_cost: PlaneCost
+    rem_plane_cost: PlaneCost
+    planes_per_block: int
+    sched_overhead_cycles: float
     spilled_regs: int
     effective_bytes_per_plane: float
 
@@ -383,6 +393,9 @@ def time_kernel(
         blocks=grid.blocks,
         rem_blocks_per_sm=rem,
         plane_cost=full_cost,
+        rem_plane_cost=rem_cost,
+        planes_per_block=planes_per_block,
+        sched_overhead_cycles=params.sched_overhead_cycles,
         spilled_regs=spilled,
         effective_bytes_per_plane=bytes_per_block,
     )

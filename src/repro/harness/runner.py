@@ -17,6 +17,8 @@ from repro.gpusim.device import DeviceSpec, get_device
 from repro.kernels.base import KernelPlan
 from repro.kernels.config import BlockConfig
 from repro.kernels.factory import make_kernel
+from repro.obs.schema import CAT_HARNESS
+from repro.obs.tracer import current_tracer, maybe_span
 from repro.stencils.spec import SymmetricStencil, symmetric
 from repro.tuning.exhaustive import exhaustive_tune
 from repro.tuning.result import TuneResult
@@ -64,8 +66,15 @@ def tune_family(
     """
     dev = get_device(device) if isinstance(device, str) else device
     key = TuneKey(family, order, dtype, dev.name, grid, register_blocking)
+    tracer = current_tracer()
     cached = _CACHE.get(key)
     if cached is not None:
+        if tracer is not None:
+            tracer.instant(
+                f"tune {family} o{order} {dtype} {dev.name}", CAT_HARNESS,
+                cache_hit=True,
+            )
+            tracer.metrics.counter("harness.tune_cache_hits").inc()
         return cached
 
     spec = symmetric(order)
@@ -74,7 +83,16 @@ def tune_family(
         return make_kernel(family, spec, cfg, dtype)
 
     space = FULL_SPACE if register_blocking else THREAD_ONLY_SPACE
-    result = exhaustive_tune(build, dev, grid, space)
+    with maybe_span(
+        tracer, f"tune {family} o{order} {dtype} {dev.name}", CAT_HARNESS,
+        family=family, order=order, dtype=dtype, device=dev.name,
+        register_blocking=register_blocking, cache_hit=False,
+    ) as sp:
+        result = exhaustive_tune(build, dev, grid, space)
+        if sp is not None:
+            sp.args["best_mpoints_per_s"] = result.best_mpoints
+            sp.args["best_config"] = result.best_config.label()
+            tracer.metrics.counter("harness.tunes").inc()
     _CACHE[key] = result
     return result
 
@@ -92,10 +110,14 @@ class ExperimentRunner:
 
     def baseline(self, order: int, device: DeviceSpec, dtype: str = "sp") -> TuneResult:
         """Tuned nvstencil baseline (thread blocking only)."""
-        return tune_family(
-            "nvstencil", order, device, dtype=dtype, grid=self.grid,
-            register_blocking=False,
-        )
+        with maybe_span(
+            current_tracer(), f"baseline o{order} {dtype} {device.name}",
+            CAT_HARNESS, order=order, dtype=dtype, device=device.name,
+        ):
+            return tune_family(
+                "nvstencil", order, device, dtype=dtype, grid=self.grid,
+                register_blocking=False,
+            )
 
     def tuned(
         self,
@@ -106,7 +128,12 @@ class ExperimentRunner:
         register_blocking: bool = True,
     ) -> TuneResult:
         """Tuned result for any family."""
-        return tune_family(
-            family, order, device, dtype=dtype, grid=self.grid,
-            register_blocking=register_blocking,
-        )
+        with maybe_span(
+            current_tracer(), f"tuned {family} o{order} {dtype} {device.name}",
+            CAT_HARNESS, family=family, order=order, dtype=dtype,
+            device=device.name,
+        ):
+            return tune_family(
+                family, order, device, dtype=dtype, grid=self.grid,
+                register_blocking=register_blocking,
+            )

@@ -1,0 +1,68 @@
+"""repro.obs — profiler for the simulated GPU.
+
+The nvprof/Nsight analogue for :mod:`repro.gpusim`: a near-zero-overhead
+span tracer with a metrics registry (:mod:`repro.obs.tracer`,
+:mod:`repro.obs.metrics`), device-timeline reconstruction from the
+analytic cycle model (:mod:`repro.obs.simtrace`), Chrome trace-event and
+bench-telemetry exporters (:mod:`repro.obs.chrome`,
+:mod:`repro.obs.telemetry`), a text flame/summary report
+(:mod:`repro.obs.summary`), and the trace schema + validator the whole
+stack shares (:mod:`repro.obs.schema`).
+
+Tracing is disabled unless a :class:`Tracer` is installed with
+:func:`tracing`; instrumentation points cost one contextvar lookup when
+off.  See ``docs/OBSERVABILITY.md`` for the event taxonomy and how to
+open exported traces in Perfetto.
+"""
+
+from repro.obs.chrome import to_chrome_trace, write_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    validate_metric_name,
+)
+from repro.obs.schema import (
+    CATEGORIES,
+    SCHEMA_VERSION,
+    TraceSchemaError,
+    validate_trace,
+)
+from repro.obs.summary import summarize, top_planes
+from repro.obs.telemetry import (
+    TelemetryCollector,
+    TelemetryRecord,
+    record_from_report,
+)
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    current_tracer,
+    maybe_span,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "tracing",
+    "maybe_span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "validate_metric_name",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "summarize",
+    "top_planes",
+    "TelemetryCollector",
+    "TelemetryRecord",
+    "record_from_report",
+    "CATEGORIES",
+    "SCHEMA_VERSION",
+    "TraceSchemaError",
+    "validate_trace",
+]

@@ -1,0 +1,115 @@
+"""Chrome trace-event exporter (Perfetto / ``chrome://tracing`` viewable).
+
+Layout:
+
+* **pid 0 — "host (wall clock)"**: tuner trials, experiment drivers;
+  ``ts``/``dur`` are real microseconds since trace start.
+* **pid 1 — "simulated device (cycles)"**: kernel launches, waves,
+  sampled planes and cost-component lanes; ``ts``/``dur`` are *simulated
+  cycles* (the viewer's "us" axis reads as cycles — see
+  docs/OBSERVABILITY.md).
+
+Final metric values land in ``otherData.metrics`` (Chrome's counter
+events want a time series; the registry holds end-of-run totals).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.schema import SCHEMA_VERSION
+from repro.obs.tracer import DEVICE_TRACK, Span, Tracer
+
+_PIDS = {"host": 0, "device": 1}
+_PROCESS_NAMES = {0: "host (wall clock)", 1: "simulated device (cycles)"}
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce span args to JSON-safe values (tuples, numpy scalars...)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def _event(span: Span, tid: int) -> dict[str, Any]:
+    ev: dict[str, Any] = {
+        "name": span.name,
+        "cat": span.cat,
+        "pid": _PIDS[span.track],
+        "tid": tid,
+        "ts": span.begin,
+        "args": _jsonable(span.args),
+    }
+    if span.instant:
+        ev["ph"] = "i"
+        ev["s"] = "t"
+    else:
+        ev["ph"] = "X"
+        ev["dur"] = span.dur
+    return ev
+
+
+def to_chrome_trace(
+    tracer: Tracer, *, device_only: bool = False
+) -> dict[str, Any]:
+    """Export a tracer's spans and metrics as one trace document.
+
+    ``device_only`` drops the host (wall clock) track — used by the
+    golden-trace test, whose wall-clock timings are nondeterministic.
+    """
+    spans = tracer.device_spans() if device_only else tracer.spans
+    # Stable lane numbering: device lanes in first-seen order after the
+    # host's single "main" lane.
+    tids: dict[tuple[str, str], int] = {}
+    for span in spans:
+        tids.setdefault((span.track, span.tid), len(tids))
+
+    events: list[dict[str, Any]] = []
+    for pid, name in sorted(_PROCESS_NAMES.items()):
+        if device_only and name.startswith("host"):
+            continue
+        events.append({
+            "name": "process_name", "cat": "__metadata", "ph": "M",
+            "pid": pid, "tid": 0, "ts": 0, "args": {"name": name},
+        })
+    for (track, tid_name), tid in tids.items():
+        events.append({
+            "name": "thread_name", "cat": "__metadata", "ph": "M",
+            "pid": _PIDS[track], "tid": tid, "ts": 0,
+            "args": {"name": tid_name},
+        })
+    events.extend(
+        _event(span, tids[(span.track, span.tid)]) for span in spans
+    )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema_version": SCHEMA_VERSION,
+            "tool": "repro.obs",
+            "metrics": tracer.metrics.snapshot(),
+        },
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str | Path, *, device_only: bool = False
+) -> Path:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(to_chrome_trace(tracer, device_only=device_only), indent=1)
+        + "\n"
+    )
+    return path
+
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "DEVICE_TRACK"]

@@ -1,0 +1,117 @@
+"""Counter / gauge / histogram registry.
+
+Naming convention (validated at registration): lowercase dotted paths,
+``<subsystem>.<metric>[_<unit>]`` — e.g. ``sim.bytes_moved``,
+``tune.rejected_static``, ``sim.latency_exposed_cycles``.  The subsystem
+prefix matches the span-category taxonomy of :mod:`repro.obs.schema`, so
+a counter and the spans that accumulated it sort together.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+def validate_metric_name(name: str) -> str:
+    """Enforce the dotted-lowercase naming convention; returns ``name``."""
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name {name!r} violates the naming convention "
+            "(lowercase dotted path, e.g. 'sim.bytes_moved')"
+        )
+    return name
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (e.g. current occupancy)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Streaming summary (count / sum / min / max) of observations."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count, "sum": self.total,
+            "min": self.min, "max": self.max, "mean": self.mean,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Create-on-first-use registry for the three metric kinds."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(validate_metric_name(name))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(validate_metric_name(name))
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(validate_metric_name(name))
+        return h
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view (the trace exporter's ``otherData.metrics``)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self.histograms.items())
+            },
+        }

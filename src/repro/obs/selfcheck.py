@@ -1,0 +1,65 @@
+"""Trace-schema self-check (``python -m repro.obs.selfcheck``).
+
+Run by ``tools/check.py``: simulates one fixed Table-I configuration
+under tracing, exports the Chrome trace, validates it against the
+documented schema, and re-asserts the reconciliation invariant (wave
+durations sum exactly to each kernel's span).  Exit code 0 on success.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.obs.chrome import to_chrome_trace
+from repro.obs.schema import CAT_SIM_KERNEL, CAT_SIM_WAVE, validate_trace
+from repro.obs.tracer import Tracer, tracing
+
+
+def run_selfcheck() -> list[str]:
+    """Returns a list of failures (empty = pass)."""
+    from repro.gpusim.executor import simulate
+    from repro.kernels.factory import make_kernel
+    from repro.stencils.spec import symmetric
+
+    plan = make_kernel("inplane_fullslice", symmetric(4), (32, 4, 1, 2), "sp")
+    with tracing(Tracer()) as tracer:
+        report = simulate(plan, "gtx580", (128, 128, 64))
+
+    failures: list[str] = []
+    trace = to_chrome_trace(tracer)
+    try:
+        validate_trace(trace)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the gate
+        failures.append(f"schema validation: {exc}")
+
+    kernels = tracer.device_spans(CAT_SIM_KERNEL)
+    waves = tracer.device_spans(CAT_SIM_WAVE)
+    if len(kernels) != 1:
+        failures.append(f"expected 1 kernel span, got {len(kernels)}")
+    else:
+        k = kernels[0]
+        wave_sum = sum(w.dur for w in waves)
+        if not math.isclose(wave_sum, k.dur, rel_tol=1e-9, abs_tol=1e-6):
+            failures.append(
+                f"wave sum {wave_sum} != kernel span {k.dur}"
+            )
+        if not math.isclose(k.dur, report.total_cycles, rel_tol=1e-9):
+            failures.append(
+                f"kernel span {k.dur} != SimReport.total_cycles "
+                f"{report.total_cycles}"
+            )
+    return failures
+
+
+def main() -> int:
+    failures = run_selfcheck()
+    for failure in failures:
+        print(f"[obs.selfcheck] {failure}", file=sys.stderr)
+    if not failures:
+        print("[obs.selfcheck] trace schema + reconciliation: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

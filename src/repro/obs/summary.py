@@ -1,0 +1,111 @@
+"""Text summary / flame report over a recorded trace.
+
+The text analogue of the Fig 10 stacked bars: per launch, the component
+lanes are aggregated over all waves and printed next to the launch total
+with an explicit reconciliation line (wave durations must sum to the
+kernel span — the same invariant ``tests/test_obs_reconcile.py`` asserts).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.schema import (
+    CAT_SIM_COMPONENT,
+    CAT_SIM_KERNEL,
+    CAT_SIM_PLANE,
+    CAT_SIM_WAVE,
+    CAT_TUNE_RUN,
+    CAT_TUNE_TRIAL,
+    COMPONENT_LANES,
+)
+from repro.obs.tracer import Span, Tracer
+
+
+def top_planes(tracer: Tracer, n: int = 5) -> list[Span]:
+    """The ``n`` costliest sampled plane spans, costliest first."""
+    planes = tracer.device_spans(CAT_SIM_PLANE)
+    return sorted(planes, key=lambda s: s.dur, reverse=True)[:n]
+
+
+def _within(span: Span, begin: float, end: float) -> bool:
+    return begin <= span.begin < end
+
+
+def summarize(tracer: Tracer, *, top: int = 5) -> str:
+    """Render the whole trace as a human-readable report."""
+    lines: list[str] = []
+
+    kernels = tracer.device_spans(CAT_SIM_KERNEL)
+    waves = tracer.device_spans(CAT_SIM_WAVE)
+    components = tracer.device_spans(CAT_SIM_COMPONENT)
+    if kernels:
+        lines.append("simulated device timeline")
+        lines.append("=" * 25)
+    for k in kernels:
+        end = k.begin + k.dur
+        kwaves = [w for w in waves if _within(w, k.begin, end)]
+        kcomp = [c for c in components if _within(c, k.begin, end)]
+        totals = {lane: 0.0 for lane in COMPONENT_LANES}
+        for c in kcomp:
+            totals[c.name] += c.dur
+        wave_sum = sum(w.dur for w in kwaves)
+        ok = math.isclose(wave_sum, k.dur, rel_tol=1e-9, abs_tol=1e-6)
+        lines.append(
+            f"{k.name}: {k.dur:,.0f} cycles over {len(kwaves)} wave(s) "
+            f"on {k.args.get('device', '?')} "
+            f"[waves sum {'reconciles' if ok else f'DRIFTS: {wave_sum:,.0f}'}]"
+        )
+        for lane in COMPONENT_LANES:
+            share = totals[lane] / k.dur if k.dur else 0.0
+            bar = "#" * round(40 * min(1.0, share))
+            lines.append(f"  {lane:>8s} {totals[lane]:>15,.0f}  {share:6.1%} {bar}")
+    hot = top_planes(tracer, top)
+    if hot:
+        lines.append("")
+        lines.append(f"top {len(hot)} hot planes (sampled)")
+        for s in hot:
+            lines.append(
+                f"  wave {s.args.get('wave', '?')} {s.name}: {s.dur:,.1f} cycles "
+                f"(mem {s.args.get('mem_cycles', 0):,.1f}, "
+                f"compute {s.args.get('compute_cycles', 0):,.1f}, "
+                f"exposed {s.args.get('exposed_cycles', 0):,.1f})"
+            )
+
+    runs = tracer.host_spans(CAT_TUNE_RUN)
+    trials = tracer.host_spans(CAT_TUNE_TRIAL)
+    if runs or trials:
+        lines.append("")
+        lines.append("tuning")
+        lines.append("=" * 6)
+        for r in runs:
+            lines.append(
+                f"{r.name}: {r.args.get('evaluated', '?')} evaluated / "
+                f"{r.args.get('space_size', '?')} feasible "
+                f"(static rejects {r.args.get('rejected_static', 0)}, "
+                f"simulated rejects {r.args.get('rejected_simulated', 0)}) "
+                f"in {r.dur / 1e3:,.1f} ms"
+            )
+        measured = [t for t in trials if "mpoints_per_s" in t.args]
+        if measured:
+            best = max(measured, key=lambda t: t.args["mpoints_per_s"])
+            lines.append(
+                f"  best trial {best.name}: "
+                f"{best.args['mpoints_per_s']:,.1f} MPoint/s"
+            )
+
+    snap = tracer.metrics.snapshot()
+    if snap["counters"] or snap["gauges"] or snap["histograms"]:
+        lines.append("")
+        lines.append("counters")
+        lines.append("=" * 8)
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<32s} {value:>18,.1f}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name:<32s} {value:>18,.3f} (gauge)")
+        for name, h in snap["histograms"].items():
+            lines.append(
+                f"  {name:<32s} n={h['count']} mean={h['mean']:,.1f} "
+                f"min={h['min']:,.1f} max={h['max']:,.1f}"
+            )
+    return "\n".join(lines)

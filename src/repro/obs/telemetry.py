@@ -1,0 +1,109 @@
+"""Machine-readable bench telemetry — the ``BENCH_profile.json`` writer.
+
+One :class:`TelemetryRecord` captures the profiler-style counters of a
+single simulated launch (device, kernel, MPoint/s, cycles, the frozen
+breakdown).  The benchmark suite accumulates records across benches
+(``benchmarks/conftest.py``) and writes one consolidated document, which
+seeds the repository's performance trajectory: successive PRs append
+comparable numbers for the same (device, kernel, order, dtype) cells.
+
+Deliberately timestamp-free: the document content is a pure function of
+the code, so diffs show performance movement and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.schema import SCHEMA_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpusim.report import SimReport
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One launch's headline counters, keyed for trajectory comparison."""
+
+    device: str
+    kernel: str
+    order: int
+    dtype: str
+    config: str
+    mpoints_per_s: float
+    gflops: float
+    total_cycles: float
+    time_s: float
+    load_efficiency: float
+    occupancy: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    source: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, int, str]:
+        """Trajectory cell identity (config may move between PRs)."""
+        return (self.device, self.kernel, self.order, self.dtype)
+
+
+def record_from_report(
+    report: "SimReport", *, order: int, source: str = ""
+) -> TelemetryRecord:
+    """Build a record from one :class:`~repro.gpusim.report.SimReport`."""
+    return TelemetryRecord(
+        device=report.device_name,
+        kernel=report.kernel_name,
+        order=order,
+        dtype=str(report.meta.get("dtype", "?")),
+        config=str(report.meta.get("block", "?")),
+        mpoints_per_s=round(report.mpoints_per_s, 3),
+        gflops=round(report.gflops, 3),
+        total_cycles=round(report.total_cycles, 3),
+        time_s=report.time_s,
+        load_efficiency=round(report.load_efficiency, 6),
+        occupancy=round(report.occupancy.occupancy, 6),
+        breakdown={k: round(v, 3) for k, v in report.breakdown.items()},
+        source=source,
+    )
+
+
+class TelemetryCollector:
+    """Accumulates records; later writes win a (key, source) cell."""
+
+    def __init__(self) -> None:
+        self._records: dict[tuple[Any, ...], TelemetryRecord] = {}
+
+    def add(self, record: TelemetryRecord) -> None:
+        self._records[(*record.key, record.source)] = record
+
+    def add_report(
+        self, report: "SimReport", *, order: int, source: str = ""
+    ) -> TelemetryRecord:
+        record = record_from_report(report, order=order, source=source)
+        self.add(record)
+        return record
+
+    @property
+    def records(self) -> list[TelemetryRecord]:
+        return [self._records[k] for k in sorted(self._records)]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def to_json_obj(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "tool": "repro.obs",
+            "records": [asdict(r) for r in self.records],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_obj(), indent=1) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        """Write the consolidated document (e.g. ``BENCH_profile.json``)."""
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path

@@ -16,6 +16,8 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.executor import DeviceExecutor
 from repro.kernels.base import KernelPlan
 from repro.kernels.config import BlockConfig
+from repro.obs.schema import CAT_TUNE_RUN, CAT_TUNE_TRIAL
+from repro.obs.tracer import current_tracer, maybe_span
 from repro.tuning.result import TuneEntry, TuneResult
 from repro.tuning.space import ParameterSpace, default_space
 
@@ -41,6 +43,7 @@ def evaluate_configs(
     place) receives ``rejected_static`` / ``rejected_simulated`` counts.
     """
     executor = DeviceExecutor(device)
+    tracer = current_tracer()
     entries: list[TuneEntry] = []
     rejected_static = 0
     rejected_simulated = 0
@@ -49,12 +52,26 @@ def evaluate_configs(
         block = plan.block_workload(device, grid_shape)
         if prefilter and launch_failure(block, device) is not None:
             rejected_static += 1
+            if tracer is not None:
+                tracer.instant(
+                    cfg.label(), CAT_TUNE_TRIAL,
+                    config=cfg.label(), rejected="static",
+                )
+                tracer.metrics.counter("tune.rejected_static").inc()
             continue
-        try:
-            report = executor.run(plan, grid_shape, block=block)
-        except ResourceLimitError:
-            rejected_simulated += 1
-            continue
+        with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
+                        config=cfg.label()) as sp:
+            try:
+                report = executor.run(plan, grid_shape, block=block)
+            except ResourceLimitError:
+                rejected_simulated += 1
+                if sp is not None:
+                    sp.args["rejected"] = "simulated"
+                    tracer.metrics.counter("tune.rejected_simulated").inc()
+                continue
+            if sp is not None:
+                sp.args["mpoints_per_s"] = report.mpoints_per_s
+                tracer.metrics.counter("tune.trials").inc()
         entries.append(
             TuneEntry(
                 config=cfg,
@@ -99,9 +116,15 @@ def exhaustive_tune(
     """Run the full feasible space; return the ranked result."""
     configs = feasible_configs(build, device, grid_shape, space)
     stats: dict[str, Any] = {}
-    entries = evaluate_configs(
-        build, configs, device, grid_shape, prefilter=prefilter, stats=stats
-    )
+    with maybe_span(
+        current_tracer(), f"exhaustive on {device.name}", CAT_TUNE_RUN,
+        method="exhaustive", device=device.name, space_size=len(configs),
+    ) as run_span:
+        entries = evaluate_configs(
+            build, configs, device, grid_shape, prefilter=prefilter, stats=stats
+        )
+        if run_span is not None:
+            run_span.args.update(evaluated=len(entries), **stats)
     if not entries:
         raise TuningError(
             f"no configuration could be launched on {device.name} for {grid_shape}"

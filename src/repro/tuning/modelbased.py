@@ -22,6 +22,8 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.executor import DeviceExecutor
 from repro.kernels.base import KernelPlan
 from repro.kernels.config import BlockConfig
+from repro.obs.schema import CAT_TUNE_RUN, CAT_TUNE_TRIAL
+from repro.obs.tracer import current_tracer, maybe_span
 from repro.tuning.exhaustive import feasible_configs
 from repro.tuning.perfmodel import ModelInputs, PaperModel
 from repro.tuning.result import TuneEntry, TuneResult
@@ -52,42 +54,66 @@ def model_based_tune(
 
     configs = feasible_configs(build, device, grid_shape, space)
     model = PaperModel(device)
+    tracer = current_tracer()
 
-    predictions: list[tuple[BlockConfig, float]] = []
-    for cfg in configs:
-        plan = build(cfg)
-        pred = model.predict(ModelInputs.from_plan(plan, device, grid_shape))
-        predictions.append((cfg, pred.mpoints_per_s))
-    predictions.sort(key=lambda item: item[1], reverse=True)
+    with maybe_span(
+        tracer, f"model on {device.name}", CAT_TUNE_RUN,
+        method="model", device=device.name, space_size=len(configs), beta=beta,
+    ) as run_span:
+        predictions: list[tuple[BlockConfig, float]] = []
+        for cfg in configs:
+            plan = build(cfg)
+            pred = model.predict(ModelInputs.from_plan(plan, device, grid_shape))
+            predictions.append((cfg, pred.mpoints_per_s))
+        predictions.sort(key=lambda item: item[1], reverse=True)
 
-    n = max(1, math.ceil(beta * len(configs)))
-    shortlist = predictions[:n]
+        n = max(1, math.ceil(beta * len(configs)))
+        shortlist = predictions[:n]
 
-    executor = DeviceExecutor(device)
-    entries: list[TuneEntry] = []
-    stats = {"rejected_static": 0, "rejected_simulated": 0}
-    for cfg, predicted in shortlist:
-        plan = build(cfg)
-        block = plan.block_workload(device, grid_shape)
-        if prefilter and launch_failure(block, device) is not None:
-            stats["rejected_static"] += 1
-            continue
-        try:
-            report = executor.run(plan, grid_shape, block=block)
-        except ResourceLimitError:
-            stats["rejected_simulated"] += 1
-            continue
-        entries.append(
-            TuneEntry(
-                config=cfg,
-                mpoints_per_s=report.mpoints_per_s,
-                predicted=predicted,
-                info={
-                    "load_efficiency": report.load_efficiency,
-                    "occupancy": report.occupancy.occupancy,
-                },
+        executor = DeviceExecutor(device)
+        entries: list[TuneEntry] = []
+        stats = {"rejected_static": 0, "rejected_simulated": 0}
+        for cfg, predicted in shortlist:
+            plan = build(cfg)
+            block = plan.block_workload(device, grid_shape)
+            if prefilter and launch_failure(block, device) is not None:
+                stats["rejected_static"] += 1
+                if tracer is not None:
+                    tracer.instant(
+                        cfg.label(), CAT_TUNE_TRIAL, config=cfg.label(),
+                        predicted_mpoints_per_s=predicted, rejected="static",
+                    )
+                    tracer.metrics.counter("tune.rejected_static").inc()
+                continue
+            with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
+                            config=cfg.label(),
+                            predicted_mpoints_per_s=predicted) as sp:
+                try:
+                    report = executor.run(plan, grid_shape, block=block)
+                except ResourceLimitError:
+                    stats["rejected_simulated"] += 1
+                    if sp is not None:
+                        sp.args["rejected"] = "simulated"
+                        tracer.metrics.counter("tune.rejected_simulated").inc()
+                    continue
+                if sp is not None:
+                    sp.args["mpoints_per_s"] = report.mpoints_per_s
+                    tracer.metrics.counter("tune.trials").inc()
+            entries.append(
+                TuneEntry(
+                    config=cfg,
+                    mpoints_per_s=report.mpoints_per_s,
+                    predicted=predicted,
+                    info={
+                        "load_efficiency": report.load_efficiency,
+                        "occupancy": report.occupancy.occupancy,
+                    },
+                )
             )
-        )
+        if run_span is not None:
+            run_span.args.update(
+                shortlist=n, evaluated=len(entries), **stats
+            )
     if not entries:
         raise TuningError(
             f"none of the model's top {n} candidates could be launched on "

@@ -22,6 +22,8 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.executor import DeviceExecutor
 from repro.kernels.base import KernelPlan
 from repro.kernels.config import BlockConfig
+from repro.obs.schema import CAT_TUNE_RUN, CAT_TUNE_TRIAL
+from repro.obs.tracer import current_tracer, maybe_span
 from repro.tuning.exhaustive import feasible_configs
 from repro.tuning.result import TuneEntry, TuneResult
 from repro.tuning.space import ParameterSpace, default_space
@@ -89,6 +91,8 @@ def stochastic_tune(
     measured: dict[BlockConfig, float] = {}
     stats = {"rejected_static": 0, "rejected_simulated": 0}
 
+    tracer = current_tracer()
+
     def measure(cfg: BlockConfig) -> float | None:
         if cfg in measured:
             return measured[cfg]
@@ -96,54 +100,72 @@ def stochastic_tune(
             return None
         plan = build(cfg)
         block = plan.block_workload(device, grid_shape)
-        if prefilter and launch_failure(block, device) is not None:
-            stats["rejected_static"] += 1
-            rate = 0.0
-        else:
-            try:
-                rate = executor.run(plan, grid_shape, block=block).mpoints_per_s
-            except ResourceLimitError:
-                stats["rejected_simulated"] += 1
+        with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
+                        config=cfg.label()) as sp:
+            if prefilter and launch_failure(block, device) is not None:
+                stats["rejected_static"] += 1
                 rate = 0.0
+                if sp is not None:
+                    sp.args["rejected"] = "static"
+                    tracer.metrics.counter("tune.rejected_static").inc()
+            else:
+                try:
+                    rate = executor.run(plan, grid_shape, block=block).mpoints_per_s
+                    if sp is not None:
+                        sp.args["mpoints_per_s"] = rate
+                        tracer.metrics.counter("tune.trials").inc()
+                except ResourceLimitError:
+                    stats["rejected_simulated"] += 1
+                    rate = 0.0
+                    if sp is not None:
+                        sp.args["rejected"] = "simulated"
+                        tracer.metrics.counter("tune.rejected_simulated").inc()
         measured[cfg] = rate
         return rate
 
-    current = rng.choice(configs)
-    current_rate = measure(current) or 0.0
-    best, best_rate = current, current_rate
+    with maybe_span(
+        tracer, f"stochastic on {device.name}", CAT_TUNE_RUN,
+        method="stochastic", device=device.name, space_size=len(configs),
+        budget=budget, seed=seed,
+    ) as run_span:
+        current = rng.choice(configs)
+        current_rate = measure(current) or 0.0
+        best, best_rate = current, current_rate
 
-    step = 0
-    stale = 0
-    while len(measured) < budget:
-        step += 1
-        temperature = initial_temperature / (1.0 + 0.2 * step)
-        options = _neighbours(current, feas, space)
-        candidate = rng.choice(options) if options else rng.choice(configs)
-        if candidate in measured:
-            stale += 1
-            # Frozen at a local optimum whose whole neighbourhood has been
-            # measured: restart from a random *unmeasured* configuration so
-            # the budget is always spent (and the loop always terminates).
-            if stale > 8:
-                unmeasured = [c for c in configs if c not in measured]
-                if not unmeasured:
-                    break
-                candidate = rng.choice(unmeasured)
+        step = 0
+        stale = 0
+        while len(measured) < budget:
+            step += 1
+            temperature = initial_temperature / (1.0 + 0.2 * step)
+            options = _neighbours(current, feas, space)
+            candidate = rng.choice(options) if options else rng.choice(configs)
+            if candidate in measured:
+                stale += 1
+                # Frozen at a local optimum whose whole neighbourhood has been
+                # measured: restart from a random *unmeasured* configuration so
+                # the budget is always spent (and the loop always terminates).
+                if stale > 8:
+                    unmeasured = [c for c in configs if c not in measured]
+                    if not unmeasured:
+                        break
+                    candidate = rng.choice(unmeasured)
+                    stale = 0
+            else:
                 stale = 0
-        else:
-            stale = 0
-        rate = measure(candidate)
-        if rate is None:
-            break
-        if rate > best_rate:
-            best, best_rate = candidate, rate
-        # Metropolis acceptance on relative performance.
-        if rate >= current_rate:
-            current, current_rate = candidate, rate
-        else:
-            rel = (rate - current_rate) / max(current_rate, 1e-9)
-            if rng.random() < math.exp(rel / max(temperature, 1e-6)):
+            rate = measure(candidate)
+            if rate is None:
+                break
+            if rate > best_rate:
+                best, best_rate = candidate, rate
+            # Metropolis acceptance on relative performance.
+            if rate >= current_rate:
                 current, current_rate = candidate, rate
+            else:
+                rel = (rate - current_rate) / max(current_rate, 1e-9)
+                if rng.random() < math.exp(rel / max(temperature, 1e-6)):
+                    current, current_rate = candidate, rate
+        if run_span is not None:
+            run_span.args.update(evaluated=len(measured), **stats)
 
     entries = tuple(
         sorted(

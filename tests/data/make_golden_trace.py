@@ -1,0 +1,31 @@
+"""Regenerate ``tests/data/golden_trace.json``.
+
+Run after an *intentional* change to the cycle model or trace schema::
+
+    PYTHONPATH=src python tests/data/make_golden_trace.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro.obs as obs
+from repro.gpusim.executor import DeviceExecutor
+from repro.kernels.factory import make_kernel
+from repro.obs.chrome import to_chrome_trace
+from repro.stencils.spec import symmetric
+
+
+def main() -> None:
+    with obs.tracing() as tracer:
+        plan = make_kernel("inplane_fullslice", symmetric(4), (32, 4, 1, 2), "sp")
+        DeviceExecutor("gtx580").run(plan, (128, 128, 64))
+    doc = to_chrome_trace(tracer, device_only=True)
+    path = Path(__file__).parent / "golden_trace.json"
+    path.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"wrote {path} ({len(doc['traceEvents'])} events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -130,12 +130,22 @@ class TestCliExtensions:
         ]) == 0
         assert "weak scaling" in capsys.readouterr().out
 
-    def test_profile_command(self, capsys):
+    def test_profile_compare(self, capsys):
         assert main([
-            "profile", "--order", "4", "--block", "32,4,1,2",
+            "profile", "--compare", "--order", "4", "--block", "32,4,1,2",
             "--grid", "256,256,64",
         ]) == 0
         out = capsys.readouterr().out
         assert "inplane_fullslice" in out
         assert "nvstencil" in out
         assert "camped" in out
+
+    def test_profile_summary(self, capsys):
+        assert main([
+            "profile", "--order", "4", "--block", "32,4,1,2",
+            "--grid", "256,256,64", "--top", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "simulated device timeline" in out
+        assert "reconciles" in out
+        assert "hot planes" in out

@@ -1,0 +1,98 @@
+"""Chrome trace exporter tests, including the deterministic golden trace.
+
+The golden file pins the *device* track for one fixed launch: the
+analytic cycle model is pure arithmetic, so the exported simulated
+timeline must be bit-for-bit reproducible across runs and platforms.
+Regenerate after an intentional cycle-model or schema change with::
+
+    PYTHONPATH=src python tests/data/make_golden_trace.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.chrome import to_chrome_trace, write_chrome_trace
+from repro.obs.schema import TraceSchemaError, validate_trace
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_trace.json"
+
+
+def _golden_tracer() -> obs.Tracer:
+    """Trace the fixed launch the golden file was generated from."""
+    from repro.gpusim.executor import DeviceExecutor
+    from repro.kernels.factory import make_kernel
+    from repro.stencils.spec import symmetric
+
+    with obs.tracing() as tracer:
+        plan = make_kernel("inplane_fullslice", symmetric(4), (32, 4, 1, 2), "sp")
+        DeviceExecutor("gtx580").run(plan, (128, 128, 64))
+    return tracer
+
+
+class TestChromeExport:
+    def test_golden_trace(self):
+        got = to_chrome_trace(_golden_tracer(), device_only=True)
+        want = json.loads(GOLDEN_PATH.read_text())
+        assert got == want
+
+    def test_golden_validates(self):
+        validate_trace(json.loads(GOLDEN_PATH.read_text()))
+
+    def test_full_export_validates(self):
+        validate_trace(to_chrome_trace(_golden_tracer()))
+
+    def test_device_only_drops_host_track(self):
+        tracer = _golden_tracer()
+        with tracer.span("host work", "harness.experiment"):
+            pass
+        doc = to_chrome_trace(tracer, device_only=True)
+        assert all(ev["pid"] == 1 for ev in doc["traceEvents"])
+        full = to_chrome_trace(tracer)
+        assert any(ev["pid"] == 0 for ev in full["traceEvents"])
+
+    def test_metadata_events(self):
+        doc = to_chrome_trace(_golden_tracer())
+        meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        names = {ev["args"]["name"] for ev in meta if ev["name"] == "process_name"}
+        assert names == {"host (wall clock)", "simulated device (cycles)"}
+
+    def test_args_jsonable(self, tmp_path):
+        tracer = _golden_tracer()
+        with tracer.span("odd args", "harness.experiment",
+                         block=(32, 4), spec=object()):
+            pass
+        path = write_chrome_trace(tracer, tmp_path / "t.json")
+        json.loads(path.read_text())  # must round-trip
+
+
+class TestSchemaValidation:
+    def test_rejects_missing_top_level_key(self):
+        with pytest.raises(TraceSchemaError):
+            validate_trace({"traceEvents": []})
+
+    def test_rejects_unknown_category(self):
+        doc = to_chrome_trace(_golden_tracer())
+        doc["traceEvents"][-1]["cat"] = "not.a.category"
+        with pytest.raises(TraceSchemaError):
+            validate_trace(doc)
+
+    def test_rejects_negative_duration(self):
+        doc = to_chrome_trace(_golden_tracer())
+        complete = next(ev for ev in doc["traceEvents"] if ev["ph"] == "X")
+        complete["dur"] = -1.0
+        with pytest.raises(TraceSchemaError):
+            validate_trace(doc)
+
+    def test_rejects_kernel_span_with_wrong_breakdown(self):
+        doc = to_chrome_trace(_golden_tracer())
+        kernel = next(
+            ev for ev in doc["traceEvents"] if ev.get("cat") == "sim.kernel"
+        )
+        kernel["args"]["breakdown"]["bogus_key"] = 1.0
+        with pytest.raises(TraceSchemaError):
+            validate_trace(doc)

@@ -1,0 +1,108 @@
+"""Telemetry exporter and profiler-CLI integration tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.gpusim.executor import simulate
+from repro.gpusim.report import BREAKDOWN_KEYS
+from repro.kernels.factory import make_kernel
+from repro.obs.schema import validate_trace
+from repro.obs.telemetry import (
+    TelemetryCollector,
+    record_from_report,
+)
+from repro.stencils.spec import symmetric
+
+
+@pytest.fixture
+def report():
+    plan = make_kernel("inplane_fullslice", symmetric(4), (32, 4, 1, 2), "sp")
+    return simulate(plan, "gtx580", (128, 128, 64))
+
+
+class TestTelemetry:
+    def test_record_from_report(self, report):
+        rec = record_from_report(report, order=4, source="unit")
+        assert rec.device == "gtx580"
+        assert rec.kernel == report.kernel_name
+        assert rec.order == 4 and rec.dtype == "sp"
+        assert rec.mpoints_per_s == round(report.mpoints_per_s, 3)
+        assert tuple(rec.breakdown) == BREAKDOWN_KEYS
+        assert rec.key == ("gtx580", report.kernel_name, 4, "sp")
+
+    def test_collector_dedups_by_key_and_source(self, report):
+        coll = TelemetryCollector()
+        first = coll.add_report(report, order=4, source="a")
+        coll.add_report(report, order=4, source="a")  # same cell: overwrite
+        coll.add_report(report, order=4, source="b")  # new source: new cell
+        assert len(coll) == 2
+        assert coll.records[0] == first
+
+    def test_document_shape_and_determinism(self, report, tmp_path):
+        coll = TelemetryCollector()
+        coll.add_report(report, order=4, source="unit")
+        path = coll.write(tmp_path / "profile.json")
+        doc = json.loads(path.read_text())
+        assert doc["tool"] == "repro.obs"
+        assert doc["records"][0]["breakdown"].keys() == set(BREAKDOWN_KEYS)
+        # Timestamp-free: two exports of the same state are identical.
+        assert coll.to_json() == path.read_text()
+
+    def test_records_sorted(self, report):
+        coll = TelemetryCollector()
+        coll.add_report(report, order=4, source="z")
+        coll.add_report(report, order=4, source="a")
+        assert [r.source for r in coll.records] == ["a", "z"]
+
+
+class TestProfileCli:
+    ARGS = ["profile", "--order", "4", "--block", "32,4,1,2",
+            "--grid", "128,128,64"]
+
+    def test_json_stdout_is_pipe_clean(self, capsys):
+        assert main([*self.ARGS, "--json"]) == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # any stray prose would break this
+        assert doc["records"]
+        assert doc["records"][0]["device"] == "gtx580"
+
+    def test_trace_out_writes_valid_chrome_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main([*self.ARGS, "--trace-out", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        validate_trace(doc)
+        kernels = [e for e in doc["traceEvents"] if e.get("cat") == "sim.kernel"]
+        assert len(kernels) == 1
+
+    def test_tune_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "tune_trace.json"
+        assert main([
+            "tune", "--kernel", "inplane_fullslice", "--order", "2",
+            "--device", "gtx580", "--grid", "128,128,64", "--method", "model",
+            "--trace", str(trace),
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        validate_trace(doc)
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert "tune.run" in cats and "tune.trial" in cats
+
+    def test_simulate_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "sim_trace.json"
+        assert main([
+            "simulate", "--kernel", "inplane_fullslice", "--order", "4",
+            "--device", "gtx680", "--block", "32,4,1,2",
+            "--grid", "128,128,64", "--trace", str(trace),
+        ]) == 0
+        validate_trace(json.loads(trace.read_text()))
+
+    def test_quiet_silences_diagnostics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["-q", *self.ARGS, "--json",
+                     "--trace-out", str(trace)]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)
+        assert captured.err == ""

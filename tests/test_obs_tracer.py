@@ -1,0 +1,152 @@
+"""Tracer and metrics-registry unit tests, including the disabled-tracer
+overhead smoke test the acceptance criteria require (< 5% on a small
+sweep)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.gpusim.executor import DeviceExecutor
+from repro.kernels.factory import make_kernel
+from repro.obs.metrics import MetricsRegistry, validate_metric_name
+from repro.obs.tracer import maybe_span
+from repro.stencils.spec import symmetric
+
+GRID = (96, 96, 48)
+
+
+def _plan(order=2, block=(32, 4, 1, 2)):
+    return make_kernel("inplane_fullslice", symmetric(order), block, "sp")
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        assert obs.current_tracer() is None
+
+    def test_tracing_scopes_the_tracer(self):
+        with obs.tracing() as tracer:
+            assert obs.current_tracer() is tracer
+            with obs.tracing() as inner:
+                assert obs.current_tracer() is inner
+            assert obs.current_tracer() is tracer
+        assert obs.current_tracer() is None
+
+    def test_host_span_nesting_and_args(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer", "tune.run") as outer:
+            with tracer.span("inner", "tune.trial", config="(32, 4, 1, 2)") as sp:
+                sp.args["mpoints_per_s"] = 123.0
+        assert outer.depth == 0 and outer.dur > 0
+        inner = tracer.host_spans("tune.trial")[0]
+        assert inner.depth == 1
+        assert inner.args == {"config": "(32, 4, 1, 2)", "mpoints_per_s": 123.0}
+        # The inner span closes first, so it cannot outlast the outer one.
+        assert inner.begin >= outer.begin
+        assert inner.begin + inner.dur <= outer.begin + outer.dur
+
+    def test_span_closes_on_exception(self):
+        tracer = obs.Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom", "tune.trial"):
+                raise RuntimeError("boom")
+        assert tracer.spans[0].dur > 0
+
+    def test_instant_marker(self):
+        tracer = obs.Tracer()
+        sp = tracer.instant("reject", "tune.trial", rejected="static")
+        assert sp.instant and sp.dur == 0.0
+
+    def test_device_cursor_packs_launches_back_to_back(self):
+        tracer = obs.Tracer()
+        assert tracer.alloc_cycles(100.0) == 0.0
+        assert tracer.alloc_cycles(50.0) == 100.0
+        assert tracer.alloc_cycles(1.0) == 150.0
+
+    def test_maybe_span_disabled_is_inert(self):
+        with maybe_span(None, "x", "tune.trial") as sp:
+            assert sp is None
+
+    def test_simulate_untraced_records_nothing(self):
+        tracer = obs.Tracer()
+        DeviceExecutor("gtx580").run(_plan(), GRID)
+        assert tracer.spans == []
+
+
+class TestMetrics:
+    def test_naming_convention(self):
+        assert validate_metric_name("sim.bytes_moved") == "sim.bytes_moved"
+        for bad in ("BytesMoved", "sim", "sim.", ".sim", "sim.Bytes", "sim bytes"):
+            with pytest.raises(ValueError):
+                validate_metric_name(bad)
+
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("sim.cycles")
+        c.inc(2.0)
+        c.inc()
+        assert reg.counter("sim.cycles").value == 3.0
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_gauge_and_histogram(self):
+        reg = MetricsRegistry()
+        reg.gauge("sim.occupancy").set(0.5)
+        h = reg.histogram("sim.plane_cycles")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        snap = reg.snapshot()
+        assert snap["gauges"]["sim.occupancy"] == 0.5
+        assert snap["histograms"]["sim.plane_cycles"] == {
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+
+    def test_empty_histogram_summary(self):
+        assert MetricsRegistry().histogram("a.b").summary()["count"] == 0
+
+
+class TestDisabledOverhead:
+    def test_disabled_overhead(self):
+        """The disabled instrumentation path (one contextvar lookup per
+        launch) must cost < 5% of a small simulation sweep.
+
+        Baseline: the same sweep with the executor's tracer lookup
+        monkeypatched to a constant ``None`` — i.e. the pre-instrumentation
+        code path.  Using min-of-5 timings on both sides keeps scheduler
+        noise out of the ratio.
+        """
+        import repro.gpusim.executor as executor_mod
+
+        executor = DeviceExecutor("gtx580")
+        plans = [_plan(order, block)
+                 for order in (2, 4) for block in ((32, 4, 1, 2), (32, 8, 2, 1))]
+
+        def sweep():
+            for plan in plans:
+                executor.run(plan, GRID)
+
+        def timed():
+            t0 = time.perf_counter()
+            sweep()
+            return time.perf_counter() - t0
+
+        def measure(repeats=7):
+            """Interleave instrumented and baseline timings so transient
+            machine load hits both sides equally; min-of-N on each."""
+            original = executor_mod.current_tracer
+            real_times, base_times = [], []
+            try:
+                for _ in range(repeats):
+                    executor_mod.current_tracer = original
+                    real_times.append(timed())
+                    executor_mod.current_tracer = lambda: None
+                    base_times.append(timed())
+            finally:
+                executor_mod.current_tracer = original
+            return min(real_times) / min(base_times) - 1.0
+
+        sweep()  # warm caches before timing either side
+        overhead = min(measure() for _ in range(3))
+        assert overhead < 0.05, f"disabled-tracer overhead {overhead:.1%}"

@@ -4,9 +4,12 @@
 Runs, in order:
 
 1. ``ruff check`` over ``src``, ``tests``, ``benchmarks``, ``examples``
-2. ``mypy`` over ``src/repro`` (strict on ``repro.analysis``, advisory
-   elsewhere — see ``pyproject.toml``)
-3. the tier-1 test suite (``pytest tests/``)
+2. ``mypy`` over ``src/repro`` (strict on ``repro.analysis`` and
+   ``repro.obs``, advisory elsewhere — see ``pyproject.toml``)
+3. the profiler trace-schema self-check (``python -m repro.obs.selfcheck``:
+   traces one launch, validates the exported Chrome trace against the
+   schema and asserts wave-sum reconciliation)
+4. the tier-1 test suite (``pytest tests/``)
 
 Static tools that are not installed are reported as *skipped* and do not
 fail the gate — the container bakes in the runtime toolchain but not
@@ -54,6 +57,12 @@ def main() -> int:
             required=False,
         ),
         "mypy": run("mypy", ["mypy"], required=False),
+        "obs-selfcheck": run(
+            "obs-selfcheck",
+            [sys.executable, "-m", "repro.obs.selfcheck"],
+            required=True,
+            env=env,
+        ),
         "pytest": run(
             "pytest",
             [sys.executable, "-m", "pytest", "tests", "-q"],
