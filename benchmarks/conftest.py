@@ -32,22 +32,12 @@ def _harvest_tune_cache(source: str) -> None:
 
     ``fresh()`` clears the cache *before* each bench, so right after a
     bench it holds exactly that bench's tuning runs; re-simulating each
-    winner costs one launch and yields the full profiler counter set.
+    winner (via :func:`repro.harness.runner.harvest_tuned_records`) costs
+    one launch and yields the full profiler counter set.
     """
-    from repro.gpusim.executor import simulate
-    from repro.harness import runner
-    from repro.kernels.factory import make_kernel
-    from repro.obs.telemetry import record_from_report
-    from repro.stencils.spec import symmetric
+    from repro.harness.runner import harvest_tuned_records
 
-    for key, result in runner._CACHE.items():
-        plan = make_kernel(
-            key.family, symmetric(key.order), result.best_config, key.dtype
-        )
-        report = simulate(plan, key.device, key.grid)
-        _TELEMETRY[key] = record_from_report(
-            report, order=key.order, source=source
-        )
+    _TELEMETRY.update(harvest_tuned_records(source))
 
 
 @pytest.fixture

@@ -13,6 +13,7 @@ Usage::
     repro profile --kernel inplane_fullslice --order 4 --device gtx580 \
                   [--trace-out trace.json] [--json] [--top 8]
     repro profile --compare --order 4 --block 32,4,1,2
+    repro bench diff --baseline BENCH_profile.json [--tolerance 0.0] [--json]
     repro experiment fig7 [--out fig7.csv]
     repro experiment all --out-dir results/
     repro codegen --kernel inplane_fullslice --order 4 --block 32,4,1,4 \
@@ -30,7 +31,11 @@ crossover); ``repro codegen`` emits the CUDA C for a kernel plan;
 ``repro lint`` runs the static analyzer (``repro.analysis``) over a plan
 or a DSL program without executing anything, exiting 1 when any
 error-level diagnostic fires; ``repro profile`` runs the simulated-GPU
-profiler (``repro.obs``) and can export Perfetto-viewable Chrome traces.
+profiler (``repro.obs``) and can export Perfetto-viewable Chrome traces
+(exit 1 when the timeline fails reconciliation); ``repro bench diff``
+resimulates a recorded ``BENCH_profile.json`` trajectory against the
+current tree and exits nonzero on regressions, naming the counter that
+moved.
 
 Output conventions: primary and machine-readable results go to stdout
 (``--json`` modes stay pipe-clean); diagnostics ("wrote ...", progress)
@@ -258,11 +263,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     """The simulated-GPU profiler (``repro.obs``).
 
-    Default mode traces one kernel and prints the flame/summary report;
-    ``--compare`` prints the nvprof-style counter table over all loading
-    variants instead.  ``--trace-out`` exports a Perfetto-viewable Chrome
-    trace; ``--json`` replaces stdout with machine-readable telemetry.
+    Default mode traces one kernel and prints the flame/summary report
+    plus the ranked bottleneck attribution; ``--compare`` prints the
+    nvprof-style counter table (with each variant's primary limiter) over
+    all loading variants instead.  ``--trace-out`` exports a
+    Perfetto-viewable Chrome trace; ``--json`` replaces stdout with
+    machine-readable telemetry.  Exits 1 when the reconstructed timeline
+    fails wave-sum reconciliation (in every output mode).
     """
+    from repro.metrics.roofline import roofline
     from repro.obs import (
         TelemetryCollector,
         Tracer,
@@ -270,6 +279,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         tracing,
         write_chrome_trace,
     )
+    from repro.obs.attribution import attribute, limiter_name
+    from repro.obs.summary import reconcile_failures
     from repro.utils.tables import format_table
 
     block = BlockConfig(*_parse_ints(args.block))
@@ -283,6 +294,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     collector = TelemetryCollector()
     rows = []
+    plan = rep = None
     with tracing(Tracer(plane_limit=max(1, args.top))) as tracer:
         for family in families:
             plan = make_kernel(family, symmetric(args.order), block, args.dtype)
@@ -300,6 +312,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 mem.load_phases,
                 f"{rep.occupancy.occupancy:.0%}",
                 wl.regs_per_thread,
+                limiter_name(rep.counters),
             ))
 
     if args.json:
@@ -307,19 +320,38 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     elif args.compare:
         print(format_table(
             ("variant", "MPt/s", "ld eff", "ld instr", "ld tx", "camped B",
-             "phases", "occ", "regs"),
+             "phases", "occ", "regs", "limiter"),
             rows,
             title=(f"profile: order {args.order} {args.dtype.upper()} "
                    f"{block.label()} on {args.device}"),
         ))
     else:
         print(summarize(tracer, top=args.top))
+        print()
+        print(attribute(rep, roofline(plan, dev, grid, rep)).render())
     if args.trace_out:
         write_chrome_trace(tracer, args.trace_out)
         log.info(
             "wrote trace %s (open in https://ui.perfetto.dev)", args.trace_out
         )
-    return 0
+    failures = reconcile_failures(tracer)
+    for failure in failures:
+        log.error("reconciliation failure: %s", failure)
+    return 1 if failures else 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Perf-regression sentinel over a recorded trajectory document."""
+    import json
+
+    from repro.obs.regress import diff_baseline
+
+    report = diff_baseline(args.baseline, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(report.to_json_obj(), indent=1))
+    else:
+        print(report.render(verbose=args.verbose > 0))
+    return report.exit_code()
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
@@ -460,6 +492,27 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--top", type=int, default=5, metavar="N",
                       help="hot planes listed in the summary (default 5)")
     prof.set_defaults(func=_cmd_profile)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark-trajectory tools (BENCH_profile.json)"
+    )
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+    bdiff = bsub.add_parser(
+        "diff",
+        help="resimulate a recorded baseline and report regressions "
+             "(exit 1 on any slowdown; deterministic, so exact by default)",
+    )
+    bdiff.add_argument(
+        "--baseline", default="BENCH_profile.json",
+        help="trajectory document to diff against (v1 or v2)",
+    )
+    bdiff.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="REL",
+        help="relative MPoint/s slack before a move counts (default exact)",
+    )
+    bdiff.add_argument("--json", action="store_true",
+                       help="machine-readable diff on stdout")
+    bdiff.set_defaults(func=_cmd_bench_diff)
 
     sc = sub.add_parser("scaling", help="multi-GPU slab scaling cost model")
     sc.add_argument("--kernel", default="inplane_fullslice")

@@ -14,6 +14,8 @@ from typing import TYPE_CHECKING
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.report import SimReport
 from repro.gpusim.timing import TimingParams, params_for, time_kernel
+from repro.metrics.efficiency import mpoints_to_gflops
+from repro.obs.counters import derive_counters
 from repro.obs.tracer import current_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -61,23 +63,10 @@ class DeviceExecutor:
         # kernels whose single sweep yields multiple logical time steps
         # (temporal blocking).
         mpoints = grid.total_points / time_s / 1e6
-        gflops = mpoints * 1e6 * block.flops_per_point / 1e9
-        moved_bytes = (
-            timing.effective_bytes_per_plane * grid.planes * grid.blocks
-        )
-        bandwidth_gbs = moved_bytes / time_s / 1e9
-        # Fig 9 metric: "bandwidth requested as a percentage of the
-        # effective bandwidth used" — transferred lines plus the partition
-        # camping serialization surcharge (no L2 discount: the profiler
-        # counts the request stream, and reuse credits would hide exactly
-        # the inefficiency the metric exists to expose).
+        gflops = mpoints_to_gflops(mpoints, block.flops_per_point)
         tp = self.params or params_for(self.device)
-        mem = block.memory
-        eff_loads = (
-            mem.load_transferred_bytes
-            + mem.camped_bytes * (tp.partition_camping - 1.0)
-        )
-        load_eff = mem.requested_load_bytes / eff_loads if eff_loads else 1.0
+        counters = derive_counters(timing, block, grid, self.device, tp)
+        bandwidth_gbs = counters["dram_bytes"] / time_s / 1e9
 
         report = SimReport(
             device_name=self.device.name,
@@ -86,7 +75,9 @@ class DeviceExecutor:
             time_s=time_s,
             mpoints_per_s=mpoints,
             gflops=gflops,
-            load_efficiency=min(1.0, load_eff),
+            # Fig 9 metric — single-sourced from the counter derivation so
+            # the headline and the gld_efficiency counter cannot disagree.
+            load_efficiency=counters["gld_efficiency"],
             bandwidth_gbs=bandwidth_gbs,
             occupancy=timing.occupancy,
             stages=timing.stages,
@@ -100,6 +91,7 @@ class DeviceExecutor:
                 "spilled_regs": float(timing.spilled_regs),
                 "bytes_per_block_plane": timing.effective_bytes_per_plane,
             },
+            counters=counters,
             meta={
                 "grid_shape": grid_shape,
                 "block": plan.block_label(),

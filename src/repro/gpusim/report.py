@@ -9,9 +9,12 @@ efficiency, occupancy).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.gpusim.occupancy import OccupancyResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.counters import CounterSet
 
 #: The frozen component-name set of :attr:`SimReport.breakdown`.  This is
 #: the single source of truth shared by the executor (which populates the
@@ -54,6 +57,11 @@ class SimReport:
     breakdown:
         Cycle breakdown per SM: memory / compute / latency-exposure /
         overhead components, for diagnostics and ablation benches.
+    counters:
+        The full hardware-counter analogue set
+        (:class:`repro.obs.counters.CounterSet`), derived by the executor
+        from the same timing/workload quantities the headline numbers
+        come from.  ``None`` only for hand-built reports in tests.
     meta:
         Free-form extras (block config, grid shape, dtype...).
     """
@@ -71,6 +79,7 @@ class SimReport:
     active_blocks: int
     blocks: int
     breakdown: dict[str, float] = field(default_factory=dict)
+    counters: "CounterSet | None" = None
     meta: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -151,6 +151,83 @@ class PlaneCost:
 
 
 @dataclass(frozen=True)
+class IssueSlots:
+    """Warp-instruction issue slots one block consumes per plane.
+
+    This is the compute stream's instruction mix, exported so the profiler's
+    counter derivations (:mod:`repro.obs.counters`) consume the *same*
+    quantities the cycle model prices — the totals can never drift apart.
+
+    ``smem`` includes bank-conflict replays (both the tile profile's residual
+    conflicts and the architectural DP factor), so ``smem - smem_base`` is
+    the replay-slot count.
+    """
+
+    global_load: float
+    global_store: float
+    smem: float
+    smem_base: float
+    arithmetic: float
+    spill: float
+    extra: float
+    loop_overhead: float
+
+    @property
+    def bookkeeping(self) -> float:
+        """Loop control and declared per-plane extras."""
+        return self.extra + self.loop_overhead
+
+    @property
+    def total(self) -> float:
+        """Slots per block per plane, summed exactly as the model sums them.
+
+        The addition order matches the historical inline expression in
+        :func:`_compute_cycles_per_block_plane` term for term, so refactoring
+        the breakdown out changed no simulated cycle count.
+        """
+        return (
+            self.global_load
+            + self.global_store
+            + self.smem
+            + self.arithmetic
+            + self.spill
+            + self.extra
+            + self.loop_overhead
+        )
+
+
+def issue_slots(
+    workload: BlockWorkload,
+    device: DeviceSpec,
+    params: TimingParams | None = None,
+    spilled_regs: int = 0,
+) -> IssueSlots:
+    """Instruction-issue breakdown of one block-plane (see :class:`IssueSlots`)."""
+    params = params or params_for(device)
+    conflict = dp_conflict_factor(workload.elem_bytes, device.rules)
+    smem_base = float(
+        workload.smem_profile.read_instructions
+        + workload.smem_profile.write_instructions
+    )
+    arith_instr = workload.points_per_plane * workload.arith_instructions
+    return IssueSlots(
+        global_load=workload.memory.load_instructions
+        * (1.0 + params.load_addressing_instructions),
+        global_store=float(workload.memory.store_instructions),
+        smem=workload.smem_profile.issue_cost() * conflict,
+        smem_base=smem_base,
+        arithmetic=arith_instr / WARP_SIZE,
+        spill=(
+            spilled_regs * workload.threads_per_block / WARP_SIZE * 2
+            if spilled_regs
+            else 0
+        ),
+        extra=float(workload.extra_instructions),
+        loop_overhead=float(params.loop_overhead_instructions),
+    )
+
+
+@dataclass(frozen=True)
 class TimingResult:
     """Full-sweep timing with its per-SM breakdown.
 
@@ -172,6 +249,44 @@ class TimingResult:
     sched_overhead_cycles: float
     spilled_regs: int
     effective_bytes_per_plane: float
+
+
+@dataclass(frozen=True)
+class Wave:
+    """One scheduling wave of a sweep, in device cycles since launch."""
+
+    begin: float
+    dur: float
+    blocks_per_sm: int
+    plane_cost: PlaneCost
+
+
+def wave_geometry(timing: "TimingResult") -> list[Wave]:
+    """Per-wave begin/duration/residency of one sweep.
+
+    Mirrors :func:`time_kernel`'s accumulation exactly: ``stages - 1`` full
+    waves followed by the remainder wave, whose duration is the residual of
+    the total so the per-wave sum cannot drift from ``total_cycles``.  This
+    is the one decomposition shared by the profiler's timeline
+    reconstruction (:mod:`repro.obs.simtrace`) and the hardware-counter
+    derivations (:mod:`repro.obs.counters`).
+    """
+    planes = timing.planes_per_block
+    full_stage = (
+        planes * timing.plane_cost.cycles
+        + timing.occupancy.active_blocks * timing.sched_overhead_cycles
+    )
+    waves = [
+        Wave(w * full_stage, full_stage, timing.occupancy.active_blocks,
+             timing.plane_cost)
+        for w in range(timing.stages - 1)
+    ]
+    last_begin = (timing.stages - 1) * full_stage
+    waves.append(
+        Wave(last_begin, timing.total_cycles - last_begin,
+             timing.rem_blocks_per_sm, timing.rem_plane_cost)
+    )
+    return waves
 
 
 def _effective_plane_bytes(
@@ -242,23 +357,8 @@ def _compute_cycles_per_block_plane(
     lanes_per_cycle = device.cores_per_sm * dtype_ratio
     arith_cycles = arith_instr / (lanes_per_cycle * params.arith_efficiency)
 
-    conflict = dp_conflict_factor(workload.elem_bytes, device.rules)
-    smem_issue = workload.smem_profile.issue_cost() * conflict
-    flop_instr = arith_instr / WARP_SIZE
-    spill_instr = (
-        spilled_regs * workload.threads_per_block / WARP_SIZE * 2 if spilled_regs else 0
-    )
-    issue_slots = (
-        workload.memory.load_instructions
-        * (1.0 + params.load_addressing_instructions)
-        + workload.memory.store_instructions
-        + smem_issue
-        + flop_instr
-        + spill_instr
-        + workload.extra_instructions
-        + params.loop_overhead_instructions
-    )
-    issue_cycles = issue_slots / device.rules.issue_width
+    slots = issue_slots(workload, device, params, spilled_regs)
+    issue_cycles = slots.total / device.rules.issue_width
     return max(arith_cycles, issue_cycles)
 
 

@@ -12,7 +12,9 @@ follow the schema documented in ``docs/OBSERVABILITY.md``:
 * device-track ``sim.kernel`` events carry a ``breakdown`` arg whose
   keys are exactly :data:`repro.gpusim.report.BREAKDOWN_KEYS` — the one
   frozen component-name set shared by ``SimReport``, the trace schema,
-  and the reconciliation tests.
+  and the reconciliation tests — and (since schema version 2) a
+  ``counters`` arg whose keys are exactly
+  :data:`repro.obs.counters.COUNTER_KEYS` plus ``occupancy_limiter``.
 
 :func:`validate_trace` is the self-check run by ``tools/check.py`` and
 the golden-trace test; it raises :class:`TraceSchemaError` with the path
@@ -24,7 +26,8 @@ from __future__ import annotations
 from typing import Any
 
 #: Version stamped into ``otherData`` — bump on incompatible changes.
-SCHEMA_VERSION = 1
+#: v2: ``sim.kernel`` spans carry the hardware-counter analogue set.
+SCHEMA_VERSION = 2
 
 #: Span/event categories (the taxonomy of docs/OBSERVABILITY.md).
 CAT_SIM_KERNEL = "sim.kernel"        #: one simulated launch (device track)
@@ -65,6 +68,7 @@ def _fail(path: str, message: str) -> None:
 def validate_trace(trace: dict[str, Any]) -> None:
     """Validate one exported trace document; raises on the first violation."""
     from repro.gpusim.report import BREAKDOWN_KEYS  # deferred: no import cycle
+    from repro.obs.counters import COUNTER_KEYS
 
     if not isinstance(trace, dict):
         _fail("$", f"trace must be an object, got {type(trace).__name__}")
@@ -115,4 +119,14 @@ def validate_trace(trace: dict[str, Any]) -> None:
                     path,
                     "breakdown keys "
                     f"{sorted(breakdown)} != {sorted(BREAKDOWN_KEYS)}",
+                )
+            counters = args.get("counters")
+            if not isinstance(counters, dict):
+                _fail(path, "sim.kernel event needs a 'counters' arg")
+            expected = set(COUNTER_KEYS) | {"occupancy_limiter"}
+            if set(counters) != expected:
+                _fail(
+                    path,
+                    "counter keys "
+                    f"{sorted(counters)} != {sorted(expected)}",
                 )

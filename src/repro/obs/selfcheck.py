@@ -2,8 +2,11 @@
 
 Run by ``tools/check.py``: simulates one fixed Table-I configuration
 under tracing, exports the Chrome trace, validates it against the
-documented schema, and re-asserts the reconciliation invariant (wave
-durations sum exactly to each kernel's span).  Exit code 0 on success.
+documented schema, re-asserts the reconciliation invariant (wave
+durations sum exactly to each kernel's span), and reconciles the
+hardware-counter set against the first-principles simulator quantities
+it is derived from (transaction enumerators, cycle totals, issue-width
+cap, stall shares summing to one).  Exit code 0 on success.
 """
 
 from __future__ import annotations
@@ -49,6 +52,61 @@ def run_selfcheck() -> list[str]:
                 f"kernel span {k.dur} != SimReport.total_cycles "
                 f"{report.total_cycles}"
             )
+    failures.extend(_counter_failures(plan, report))
+    return failures
+
+
+def _counter_failures(plan, report) -> list[str]:
+    """Reconcile the counter set against the quantities it derives from."""
+    from repro.gpusim.device import get_device
+    from repro.obs.counters import STALL_KEYS
+
+    failures: list[str] = []
+    c = report.counters
+    if c is None:
+        return ["SimReport.counters missing from an executor-built report"]
+
+    device = get_device(report.device_name)
+    grid_shape = report.meta["grid_shape"]
+    workload = plan.block_workload(device, grid_shape)
+    grid = plan.grid_workload(device, grid_shape)
+    sweep = grid.planes * grid.blocks
+
+    checks = [
+        (
+            "gld_transactions vs memory enumerator",
+            c["gld_transactions"] == workload.memory.load_transactions * sweep,
+        ),
+        (
+            "gst_transactions vs memory enumerator",
+            c["gst_transactions"] == workload.memory.store_transactions * sweep,
+        ),
+        (
+            "dram_bytes vs bandwidth identity",
+            math.isclose(
+                c["dram_bytes"],
+                report.bandwidth_gbs * 1e9 * report.time_s,
+                rel_tol=1e-9,
+            ),
+        ),
+        (
+            "gld_efficiency vs SimReport.load_efficiency",
+            c["gld_efficiency"] == report.load_efficiency,
+        ),
+        (
+            "stall fractions sum to 1",
+            math.isclose(sum(c[k] for k in STALL_KEYS), 1.0, rel_tol=1e-9),
+        ),
+        (
+            "ipc within the issue-width cap",
+            c["ipc"] <= device.rules.issue_width + 1e-12,
+        ),
+        (
+            "achieved_occupancy vs occupancy result",
+            c["achieved_occupancy"] == report.occupancy.occupancy,
+        ),
+    ]
+    failures.extend(f"counter check failed: {name}" for name, ok in checks if not ok)
     return failures
 
 

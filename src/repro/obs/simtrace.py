@@ -32,34 +32,8 @@ from repro.obs.tracer import Tracer
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.gpusim.device import DeviceSpec
     from repro.gpusim.report import SimReport
-    from repro.gpusim.timing import PlaneCost, TimingParams, TimingResult
+    from repro.gpusim.timing import TimingParams, TimingResult
     from repro.gpusim.workload import BlockWorkload, GridWorkload
-
-
-def _wave_geometry(timing: "TimingResult") -> list[tuple[float, float, int, "PlaneCost"]]:
-    """``(begin, dur, blocks_per_sm, plane_cost)`` per wave.
-
-    Mirrors ``time_kernel``'s accumulation exactly: ``stages - 1`` full
-    waves followed by the remainder wave, whose duration is the residual
-    of the total so the per-wave sum cannot drift from it.
-    """
-    planes = timing.planes_per_block
-    full_stage = (
-        planes * timing.plane_cost.cycles
-        + timing.occupancy.active_blocks * timing.sched_overhead_cycles
-    )
-    waves: list[tuple[float, float, int, PlaneCost]] = []
-    for w in range(timing.stages - 1):
-        waves.append(
-            (w * full_stage, full_stage, timing.occupancy.active_blocks,
-             timing.plane_cost)
-        )
-    last_begin = (timing.stages - 1) * full_stage
-    waves.append(
-        (last_begin, timing.total_cycles - last_begin,
-         timing.rem_blocks_per_sm, timing.rem_plane_cost)
-    )
-    return waves
 
 
 def emit_kernel_spans(
@@ -72,10 +46,14 @@ def emit_kernel_spans(
     params: "TimingParams",
 ) -> None:
     """Record one launch's device-track spans and accumulate its counters."""
-    from repro.gpusim.smem import dp_conflict_factor  # deferred: no import cycle
+    from repro.gpusim.timing import wave_geometry  # deferred: no import cycle
+    from repro.obs.counters import derive_counters, shared_replay_slots
 
     base = tracer.alloc_cycles(timing.total_cycles)
     planes = timing.planes_per_block
+    counters = report.counters or derive_counters(
+        timing, workload, grid, device, params
+    )
 
     tracer.device_span(
         report.kernel_name,
@@ -92,11 +70,10 @@ def emit_kernel_spans(
         stages=timing.stages,
         blocks=timing.blocks,
         breakdown=dict(report.breakdown),
+        counters=counters.as_dict(),
     )
 
-    mem = workload.memory
-    reuse = params.l2_halo_reuse if device.l2_bytes > 0 else 0.0
-    conflict = dp_conflict_factor(workload.elem_bytes, device.rules)
+    _, replay_slots = shared_replay_slots(workload, device)
     spill_bytes_per_plane = (
         timing.spilled_regs * workload.threads_per_block
         * params.spill_bytes_per_reg
@@ -105,22 +82,20 @@ def emit_kernel_spans(
     m = tracer.metrics
     m.counter("sim.kernels").inc()
     m.counter("sim.cycles").inc(timing.total_cycles)
-    m.counter("sim.bytes_moved").inc(
-        timing.effective_bytes_per_plane * grid.planes * grid.blocks
-    )
-    m.counter("sim.l2_halo_hit_bytes").inc(
-        mem.halo_transferred_bytes * reuse * grid.planes * grid.blocks
-    )
-    m.counter("sim.spill_bytes").inc(spill_bytes_per_plane * grid.planes * grid.blocks)
+    m.counter("sim.bytes_moved").inc(counters["dram_bytes"])
+    m.counter("sim.l2_halo_hit_bytes").inc(counters["l2_halo_hit_bytes"])
+    m.counter("sim.spill_bytes").inc(counters["local_spill_bytes"])
+    # Replay slots follow the instruction convention (priced planes), the
+    # same definition behind the shared_replay_rate counter.
     m.counter("sim.bank_conflict_issue_slots").inc(
-        workload.smem_profile.issue_cost() * (conflict - 1.0)
-        * grid.planes * grid.blocks
-        / conflict
+        replay_slots * planes * grid.blocks
     )
     m.gauge("sim.occupancy").set(report.occupancy.occupancy)
 
-    for w, (begin, dur, blocks_per_sm, cost) in enumerate(_wave_geometry(timing)):
-        wbase = base + begin
+    for w, wave in enumerate(wave_geometry(timing)):
+        blocks_per_sm, cost = wave.blocks_per_sm, wave.plane_cost
+        wbase = base + wave.begin
+        dur = wave.dur
         tracer.device_span(
             f"wave {w}", CAT_SIM_WAVE, "waves", wbase, dur,
             wave=w,

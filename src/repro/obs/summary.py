@@ -32,6 +32,26 @@ def _within(span: Span, begin: float, end: float) -> bool:
     return begin <= span.begin < end
 
 
+def reconcile_failures(tracer: Tracer) -> list[str]:
+    """Kernels whose wave durations do not sum to their span (empty = ok).
+
+    The same invariant the summary prints as ``DRIFTS`` and
+    ``tests/test_obs_reconcile.py`` asserts, exposed so the CLI can turn
+    it into a nonzero exit code.
+    """
+    waves = tracer.device_spans(CAT_SIM_WAVE)
+    failures: list[str] = []
+    for k in tracer.device_spans(CAT_SIM_KERNEL):
+        wave_sum = sum(
+            w.dur for w in waves if _within(w, k.begin, k.begin + k.dur)
+        )
+        if not math.isclose(wave_sum, k.dur, rel_tol=1e-9, abs_tol=1e-6):
+            failures.append(
+                f"{k.name}: wave sum {wave_sum:,.3f} != kernel span {k.dur:,.3f}"
+            )
+    return failures
+
+
 def summarize(tracer: Tracer, *, top: int = 5) -> str:
     """Render the whole trace as a human-readable report."""
     lines: list[str] = []
@@ -56,6 +76,19 @@ def summarize(tracer: Tracer, *, top: int = 5) -> str:
             f"on {k.args.get('device', '?')} "
             f"[waves sum {'reconciles' if ok else f'DRIFTS: {wave_sum:,.0f}'}]"
         )
+        counters = k.args.get("counters")
+        if counters:
+            # The same primary-limiter name the attribution report ranks
+            # first, so flame view and attribution view agree.
+            from repro.obs.attribution import LIMITER_NAMES, limiter_name
+
+            top_key = max(LIMITER_NAMES, key=lambda key: counters[key])
+            lines.append(
+                f"  limiter: {limiter_name(counters)} "
+                f"({counters[top_key]:.1%} of cycles), "
+                f"occupancy {counters['achieved_occupancy']:.2f} "
+                f"limited by {counters['occupancy_limiter']}"
+            )
         for lane in COMPONENT_LANES:
             share = totals[lane] / k.dur if k.dur else 0.0
             bar = "#" * round(40 * min(1.0, share))

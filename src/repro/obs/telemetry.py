@@ -18,10 +18,18 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
-from repro.obs.schema import SCHEMA_VERSION
-
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.gpusim.report import SimReport
+
+#: ``BENCH_profile.json`` document version (independent of the Chrome
+#: trace's ``repro.obs.schema.SCHEMA_VERSION``).  v1: headline numbers +
+#: breakdown.  v2: adds the hardware-counter set and the grid shape.
+#: :func:`load_profile` still reads v1 documents.
+PROFILE_SCHEMA_VERSION = 2
+
+#: Grid v1 records were (implicitly) produced on — the paper's benchmark
+#: volume; v2 records carry their grid explicitly.
+_V1_GRID = (512, 512, 256)
 
 
 @dataclass(frozen=True)
@@ -40,6 +48,8 @@ class TelemetryRecord:
     load_efficiency: float
     occupancy: float
     breakdown: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, Any] = field(default_factory=dict)
+    grid: tuple[int, int, int] = _V1_GRID
     source: str = ""
 
     @property
@@ -48,10 +58,18 @@ class TelemetryRecord:
         return (self.device, self.kernel, self.order, self.dtype)
 
 
+def _round_counters(counters: dict[str, Any]) -> dict[str, Any]:
+    return {
+        k: round(v, 6) if isinstance(v, float) else v
+        for k, v in counters.items()
+    }
+
+
 def record_from_report(
     report: "SimReport", *, order: int, source: str = ""
 ) -> TelemetryRecord:
     """Build a record from one :class:`~repro.gpusim.report.SimReport`."""
+    grid = tuple(report.meta.get("grid_shape", _V1_GRID))
     return TelemetryRecord(
         device=report.device_name,
         kernel=report.kernel_name,
@@ -65,8 +83,35 @@ def record_from_report(
         load_efficiency=round(report.load_efficiency, 6),
         occupancy=round(report.occupancy.occupancy, 6),
         breakdown={k: round(v, 3) for k, v in report.breakdown.items()},
+        counters=(
+            _round_counters(report.counters.as_dict()) if report.counters else {}
+        ),
+        grid=grid,  # type: ignore[arg-type]
         source=source,
     )
+
+
+def load_profile(path: str | Path) -> list[TelemetryRecord]:
+    """Read a ``BENCH_profile.json`` document, v1 or v2.
+
+    v1 records predate the counter set: they load with ``counters={}``
+    and the implicit paper grid, so the regression sentinel can still
+    diff against them (resimulation recomputes what the record lacks).
+    """
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("schema_version")
+    if version not in (1, PROFILE_SCHEMA_VERSION):
+        raise ValueError(
+            f"{path}: unsupported profile schema_version {version!r} "
+            f"(readable: 1, {PROFILE_SCHEMA_VERSION})"
+        )
+    records = []
+    for raw in doc["records"]:
+        raw = dict(raw)
+        raw.setdefault("counters", {})
+        raw["grid"] = tuple(raw.get("grid", _V1_GRID))
+        records.append(TelemetryRecord(**raw))
+    return records
 
 
 class TelemetryCollector:
@@ -94,10 +139,16 @@ class TelemetryCollector:
 
     def to_json_obj(self) -> dict[str, Any]:
         return {
-            "schema_version": SCHEMA_VERSION,
+            "schema_version": PROFILE_SCHEMA_VERSION,
             "tool": "repro.obs",
-            "records": [asdict(r) for r in self.records],
+            "records": [self._record_obj(r) for r in self.records],
         }
+
+    @staticmethod
+    def _record_obj(record: TelemetryRecord) -> dict[str, Any]:
+        obj = asdict(record)
+        obj["grid"] = list(record.grid)
+        return obj
 
     def to_json(self) -> str:
         return json.dumps(self.to_json_obj(), indent=1) + "\n"

@@ -1,0 +1,142 @@
+"""Bottleneck-attribution engine tests.
+
+The ranked limiter report must (a) rank exactly the five stall counters,
+largest cycle share first; (b) explain each limiter from the counters
+that drive it; (c) cross-reference only rule ids that actually exist in
+the static-analysis catalog; and (d) merge with the roofline verdict
+into the one-line headline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.rules import catalog
+from repro.gpusim.device import get_device
+from repro.gpusim.executor import simulate
+from repro.gpusim.report import SimReport
+from repro.kernels.factory import make_kernel
+from repro.metrics.roofline import roofline
+from repro.obs.attribution import (
+    LIMITER_NAMES,
+    AttributionReport,
+    attribute,
+    limiter_name,
+    rank_limiters,
+)
+from repro.obs.counters import STALL_KEYS
+from repro.stencils.spec import symmetric
+
+GRID = (128, 128, 64)
+
+CASES = [
+    ("gtx580", "inplane_fullslice", 2, (32, 4, 1, 2), "sp"),
+    ("gtx580", "inplane_fullslice", 10, (32, 4, 2, 2), "dp"),
+    ("gtx680", "inplane_vertical", 4, (32, 4, 1, 2), "sp"),
+    ("c2070", "nvstencil", 8, (32, 4, 1, 1), "sp"),
+    ("c2070", "inplane_horizontal", 6, (64, 2, 1, 2), "dp"),
+]
+
+
+def _report(device, family, order, block, dtype):
+    plan = make_kernel(family, symmetric(order), block, dtype)
+    return simulate(plan, device, GRID)
+
+
+@pytest.fixture(params=CASES, ids=lambda c: "-".join(map(str, c[:3])))
+def report(request):
+    return _report(*request.param)
+
+
+class TestRanking:
+    def test_all_five_limiters_ranked_by_share(self, report):
+        limiters = rank_limiters(report.counters)
+        assert len(limiters) == len(STALL_KEYS)
+        assert {x.counter for x in limiters} == set(STALL_KEYS)
+        shares = [x.share for x in limiters]
+        assert shares == sorted(shares, reverse=True)
+        assert sum(shares) == pytest.approx(1.0)
+        assert all(x.name == LIMITER_NAMES[x.counter] for x in limiters)
+
+    def test_limiter_name_agrees_on_both_forms(self, report):
+        top = rank_limiters(report.counters)[0].name
+        assert limiter_name(report.counters) == top
+        assert limiter_name(report.counters.as_dict()) == top
+
+    def test_hints_reference_real_analysis_rules(self, report):
+        known = set(catalog())
+        for lim in rank_limiters(report.counters):
+            for hint in lim.hints:
+                assert hint in known, f"{lim.counter} hints unknown rule {hint}"
+
+    def test_details_are_counter_backed(self, report):
+        by_counter = {x.counter: x for x in rank_limiters(report.counters)}
+        c = report.counters
+        assert f"{c['dram_bw_fraction']:.0%}" in by_counter["stall_mem_frac"].detail
+        assert f"IPC {c['ipc']:.2f}" in by_counter["stall_compute_frac"].detail
+        assert c.occupancy_limiter in by_counter["stall_latency_frac"].detail
+
+
+class TestAttribute:
+    def test_headline_without_roofline_leads_with_primary(self, report):
+        rep = attribute(report)
+        assert isinstance(rep, AttributionReport)
+        assert rep.kernel == report.kernel_name
+        assert rep.primary == rep.limiters[0]
+        assert rep.headline.startswith(rep.primary.name)
+
+    def test_roofline_headline_names_bound_and_next_limiter(self, report):
+        point = next(
+            roofline(p, get_device(device), GRID, report)
+            for device, family, order, block, dtype in CASES
+            for p in [make_kernel(family, symmetric(order), block, dtype)]
+            if p.name == report.kernel_name and device == report.device_name
+        )
+        rep = attribute(report, point)
+        bound = "bandwidth" if point.bandwidth_bound else "compute"
+        assert rep.headline.startswith(f"{bound}-bound at ")
+        if "next limiter:" in rep.headline:
+            nxt = next(x for x in rep.limiters if x.name != bound)
+            assert nxt.detail in rep.headline
+
+    def test_render_lists_every_limiter_and_hints(self, report):
+        text = attribute(report).render()
+        for lim in rank_limiters(report.counters):
+            assert lim.name in text
+            for hint in lim.hints:
+                assert hint in text
+
+    def test_counterless_report_rejected(self, report):
+        bare = SimReport(
+            device_name=report.device_name,
+            kernel_name=report.kernel_name,
+            total_cycles=report.total_cycles,
+            time_s=report.time_s,
+            mpoints_per_s=report.mpoints_per_s,
+            gflops=report.gflops,
+            load_efficiency=report.load_efficiency,
+            bandwidth_gbs=report.bandwidth_gbs,
+            occupancy=report.occupancy,
+            stages=report.stages,
+            active_blocks=report.active_blocks,
+            blocks=report.blocks,
+        )
+        with pytest.raises(ValueError, match="no counters"):
+            attribute(bare)
+
+
+class TestSummaryIntegration:
+    """The flame summary prints the same primary limiter the report ranks."""
+
+    def test_summary_limiter_line_matches_attribution(self, capsys):
+        from repro import obs
+        from repro.gpusim.executor import DeviceExecutor
+        from repro.obs.summary import summarize
+
+        plan = make_kernel("inplane_fullslice", symmetric(4), (32, 4, 1, 2), "sp")
+        with obs.tracing() as tracer:
+            report = DeviceExecutor("gtx580").run(plan, GRID)
+        text = summarize(tracer)
+        rep = attribute(report)
+        assert f"limiter: {rep.primary.name}" in text
+        assert f"limited by {report.counters.occupancy_limiter}" in text

@@ -10,9 +10,12 @@ from repro.cli import main
 from repro.gpusim.executor import simulate
 from repro.gpusim.report import BREAKDOWN_KEYS
 from repro.kernels.factory import make_kernel
+from repro.obs.counters import COUNTER_KEYS
 from repro.obs.schema import validate_trace
 from repro.obs.telemetry import (
+    PROFILE_SCHEMA_VERSION,
     TelemetryCollector,
+    load_profile,
     record_from_report,
 )
 from repro.stencils.spec import symmetric
@@ -57,6 +60,25 @@ class TestTelemetry:
         coll.add_report(report, order=4, source="z")
         coll.add_report(report, order=4, source="a")
         assert [r.source for r in coll.records] == ["a", "z"]
+
+    def test_v2_record_carries_counters_and_grid(self, report):
+        rec = record_from_report(report, order=4, source="unit")
+        assert set(rec.counters) == set(COUNTER_KEYS) | {"occupancy_limiter"}
+        assert rec.grid == (128, 128, 64)
+        # Rounded for diff stability, same policy as the headline fields.
+        assert rec.counters["gld_efficiency"] == round(
+            report.counters["gld_efficiency"], 6
+        )
+
+    def test_v2_document_roundtrips_through_load_profile(self, report, tmp_path):
+        coll = TelemetryCollector()
+        coll.add_report(report, order=4, source="unit")
+        path = coll.write(tmp_path / "profile.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == PROFILE_SCHEMA_VERSION
+        assert doc["records"][0]["grid"] == [128, 128, 64]
+        (rec,) = load_profile(path)
+        assert rec == coll.records[0]
 
 
 class TestProfileCli:
@@ -106,3 +128,23 @@ class TestProfileCli:
         captured = capsys.readouterr()
         json.loads(captured.out)
         assert captured.err == ""
+
+    def test_text_summary_names_the_limiter(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "limiter: " in out
+        assert "limited by " in out
+        assert " of ceiling" in out  # roofline-backed attribution headline
+
+    def test_reconciliation_failure_exits_nonzero(self, capsys, monkeypatch):
+        # Every output mode must fail loudly when the trace does not
+        # reconcile with the model — including --json, which previously
+        # returned 0 unconditionally.
+        import repro.obs.summary as summary
+
+        monkeypatch.setattr(
+            summary, "reconcile_failures", lambda tracer: ["injected failure"]
+        )
+        assert main([*self.ARGS, "--json"]) == 1
+        json.loads(capsys.readouterr().out)  # stdout stays pipe-clean
+        assert main(self.ARGS) == 1

@@ -8,8 +8,13 @@ Runs, in order:
    ``repro.obs``, advisory elsewhere — see ``pyproject.toml``)
 3. the profiler trace-schema self-check (``python -m repro.obs.selfcheck``:
    traces one launch, validates the exported Chrome trace against the
-   schema and asserts wave-sum reconciliation)
-4. the tier-1 test suite (``pytest tests/``)
+   schema, asserts wave-sum reconciliation and reconciles the
+   hardware-counter set against the simulator's enumerators)
+4. the perf-regression sentinel (``repro bench diff`` against the
+   recorded ``BENCH_profile.json`` trajectory: every record resimulated,
+   exact tolerance — any slowdown fails the gate with the responsible
+   counter named)
+5. the tier-1 test suite (``pytest tests/``)
 
 Static tools that are not installed are reported as *skipped* and do not
 fail the gate — the container bakes in the runtime toolchain but not
@@ -60,6 +65,15 @@ def main() -> int:
         "obs-selfcheck": run(
             "obs-selfcheck",
             [sys.executable, "-m", "repro.obs.selfcheck"],
+            required=True,
+            env=env,
+        ),
+        "bench-diff": run(
+            "bench-diff",
+            [
+                sys.executable, "-m", "repro.cli", "-q", "bench", "diff",
+                "--baseline", "BENCH_profile.json",
+            ],
             required=True,
             env=env,
         ),
