@@ -30,7 +30,11 @@ from __future__ import annotations
 from repro.driver import converged, iterate, residual
 from repro.errors import (
     ConfigurationError,
+    FaultInjectedError,
     GridShapeError,
+    HaloExchangeError,
+    JournalError,
+    KernelHangError,
     ReproError,
     ResourceLimitError,
     StencilDefinitionError,
@@ -40,6 +44,7 @@ from repro.errors import (
 from repro.gpusim import (
     DeviceExecutor,
     DeviceSpec,
+    FaultPlan,
     SimReport,
     get_device,
     list_devices,
@@ -89,6 +94,7 @@ __all__ = [
     # simulator
     "DeviceSpec",
     "DeviceExecutor",
+    "FaultPlan",
     "SimReport",
     "get_device",
     "list_devices",
@@ -110,6 +116,10 @@ __all__ = [
     "StencilDefinitionError",
     "GridShapeError",
     "TuningError",
+    "FaultInjectedError",
+    "KernelHangError",
+    "HaloExchangeError",
+    "JournalError",
     "__version__",
 ]
 

@@ -10,6 +10,9 @@ Usage::
     repro tune --kernel inplane_fullslice --order 2 --device gtx680 \
                [--method model --beta 0.05] [--no-register-blocking] \
                [--trace trace.json]
+    repro tune --method auto --faults 'seed=7,launch=0.1,hang=0.02' \
+               --journal tune.journal [--resume] [--retries 3] \
+               [--watchdog 1e9] [--budget 30] [--seed 0]
     repro profile --kernel inplane_fullslice --order 4 --device gtx580 \
                   [--trace-out trace.json] [--json] [--top 8]
     repro profile --compare --order 4 --block 32,4,1,2
@@ -36,6 +39,13 @@ profiler (``repro.obs``) and can export Perfetto-viewable Chrome traces
 resimulates a recorded ``BENCH_profile.json`` trajectory against the
 current tree and exits nonzero on regressions, naming the counter that
 moved.
+
+``repro tune`` with ``--faults``, ``--journal``/``--resume``, or a
+``stochastic``/``auto`` method runs a resilient session
+(:mod:`repro.tuning.robust`) with retries, quarantine, and a crash-safe
+journal.  Its exit codes are stable: 0 success, 1 tuning failed (every
+tier exhausted or all configs quarantined), 2 bad ``--faults`` spec or
+unusable journal (missing, corrupt, or from a different session).
 
 Output conventions: primary and machine-readable results go to stdout
 (``--json`` modes stay pipe-clean); diagnostics ("wrote ...", progress)
@@ -130,31 +140,109 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_tune(args: argparse.Namespace) -> int:
-    from repro import autotune
-    from repro.harness.runner import tune_family
+# Stable ``repro tune`` exit codes (documented in docs/ROBUSTNESS.md and
+# pinned by tests/test_tuning_robust.py): 0 success, 1 tuning failed
+# (every tier exhausted / all trials quarantined), 2 journal unusable
+# (missing, unreadable, or bound to a different session) or bad spec.
+EXIT_TUNE_OK = 0
+EXIT_TUNE_FAILED = 1
+EXIT_TUNE_JOURNAL = 2
 
-    with _maybe_tracing(args) as tracer:
-        if args.method == "model":
-            result = autotune(
-                args.kernel, args.order, args.device,
-                grid_shape=_parse_ints(args.grid, 3), dtype=args.dtype,
-                method="model", beta=args.beta,
-            )
-        else:
-            result = tune_family(
-                args.kernel, args.order, args.device, dtype=args.dtype,
-                grid=_parse_ints(args.grid, 3),
-                register_blocking=not args.no_register_blocking,
-            )
-    print(result.summary())
+
+def _print_tune_entries(result) -> None:
     for entry in result.entries[:10]:
         line = f"  {entry.config.label():>18} {entry.mpoints_per_s:10.1f} MPt/s"
         if entry.predicted is not None:
             line += f"  (model: {entry.predicted:10.1f})"
         print(line)
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro import autotune
+    from repro.harness.runner import tune_family
+
+    grid = _parse_ints(args.grid, 3)
+    # The resilient session engages when any robustness feature is asked
+    # for; the plain paths below stay byte-identical otherwise.
+    robust = bool(
+        args.faults or args.journal or args.resume
+        or args.retries is not None or args.watchdog is not None
+        or args.method in ("stochastic", "auto")
+    )
+    if not robust:
+        with _maybe_tracing(args) as tracer:
+            if args.method == "model":
+                result = autotune(
+                    args.kernel, args.order, args.device,
+                    grid_shape=grid, dtype=args.dtype,
+                    method="model", beta=args.beta,
+                )
+            else:
+                result = tune_family(
+                    args.kernel, args.order, args.device, dtype=args.dtype,
+                    grid=grid,
+                    register_blocking=not args.no_register_blocking,
+                )
+        print(result.summary())
+        _print_tune_entries(result)
+        _finish_trace(tracer, args.trace)
+        return EXIT_TUNE_OK
+
+    from repro.errors import ConfigurationError, JournalError, TuningError
+    from repro.gpusim.faults import FaultPlan
+    from repro.tuning.robust import RetryPolicy, RobustTuningSession
+    from repro.tuning.space import ParameterSpace
+
+    try:
+        faults = FaultPlan.parse(args.faults) if args.faults else None
+    except ConfigurationError as exc:
+        log.error("bad --faults spec: %s", exc)
+        return EXIT_TUNE_JOURNAL
+    device = get_device(args.device)
+    spec = symmetric(args.order)
+
+    def build(cfg: BlockConfig):
+        return make_kernel(args.kernel, spec, cfg, args.dtype)
+
+    space = None
+    if args.no_register_blocking:
+        space = ParameterSpace(rx_values=(1,), ry_values=(1,))
+    session_key = (
+        f"{args.kernel}:o{args.order}:{args.dtype}:"
+        + RobustTuningSession.default_session_key(device, grid, faults)
+    )
+    retries = 3 if args.retries is None else args.retries
+    try:
+        session = RobustTuningSession(
+            device, grid,
+            faults=faults,
+            policy=RetryPolicy(max_retries=retries),
+            journal_path=args.journal,
+            resume=args.resume,
+            session_key=session_key,
+            watchdog_cycles=args.watchdog,
+        )
+        with _maybe_tracing(args) as tracer:
+            sres = session.run(
+                build, method=args.method, space=space, beta=args.beta,
+                budget=args.budget, seed=args.seed,
+            )
+    except JournalError as exc:
+        log.error("journal error: %s", exc)
+        return EXIT_TUNE_JOURNAL
+    except TuningError as exc:
+        log.error("tuning failed: %s", exc)
+        return EXIT_TUNE_FAILED
+    print(sres.summary())
+    _print_tune_entries(sres.result)
+    stats = sres.stats
+    log.info(
+        "trials: %d live, %d replayed, %d retries, %d quarantined",
+        stats.get("live_trials", 0), stats.get("replayed", 0),
+        stats.get("retries", 0), stats.get("quarantined_configs", 0),
+    )
     _finish_trace(tracer, args.trace)
-    return 0
+    return EXIT_TUNE_OK
 
 
 _EXPERIMENTS = {
@@ -420,9 +508,32 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--device", default="gtx580")
     tune.add_argument("--dtype", default="sp", choices=("sp", "dp"))
     tune.add_argument("--grid", default="512,512,256")
-    tune.add_argument("--method", default="exhaustive", choices=("exhaustive", "model"))
+    tune.add_argument(
+        "--method", default="exhaustive",
+        choices=("exhaustive", "model", "stochastic", "auto"),
+        help="tuner tier; 'auto' degrades model -> stochastic -> exhaustive",
+    )
     tune.add_argument("--beta", type=float, default=0.05)
+    tune.add_argument("--budget", type=int, default=30,
+                      help="trial budget for the stochastic tier")
+    tune.add_argument("--seed", type=int, default=0,
+                      help="seed for stochastic search and retry jitter")
     tune.add_argument("--no-register-blocking", action="store_true")
+    tune.add_argument("--faults", metavar="SPEC",
+                      help="inject simulated faults, e.g. "
+                           "'seed=7,launch=0.1,hang=0.02,throttle=0.05' "
+                           "(see repro.gpusim.faults.FaultPlan.parse)")
+    tune.add_argument("--journal", metavar="PATH",
+                      help="crash-safe trial journal for this session")
+    tune.add_argument("--resume", action="store_true",
+                      help="replay journaled trials instead of re-running "
+                           "them; exits 2 if the journal is missing or "
+                           "belongs to a different session")
+    tune.add_argument("--retries", type=int, metavar="N",
+                      help="max retries per faulted trial (default 3)")
+    tune.add_argument("--watchdog", type=float, metavar="CYCLES",
+                      help="kill any launch exceeding this many simulated "
+                           "cycles")
     tune.add_argument("--trace", metavar="PATH",
                       help="write a Chrome trace of the whole sweep here "
                            "(one tune.trial span per evaluated config)")

@@ -13,13 +13,20 @@ exchange over PCIe.  This package provides both halves:
   strong/weak scaling curves with the classic exchange-bound saturation.
 """
 
-from repro.cluster.decompose import Slab, exchange_halos, merge_slabs, split_grid
+from repro.cluster.decompose import (
+    Slab,
+    exchange_halos,
+    merge_slabs,
+    split_grid,
+    validate_halos,
+)
 from repro.cluster.multigpu import LinkSpec, MultiGpuStencil, PCIE_GEN2_X16, PCIE_P2P
 
 __all__ = [
     "Slab",
     "split_grid",
     "exchange_halos",
+    "validate_halos",
     "merge_slabs",
     "LinkSpec",
     "MultiGpuStencil",

@@ -12,10 +12,14 @@ plane, which the property tests assert over multiple steps.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import GridShapeError
+from repro.errors import GridShapeError, HaloExchangeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpusim.faults import FaultPlan
 
 
 @dataclass
@@ -95,25 +99,88 @@ def split_grid(grid: np.ndarray, parts: int, radius: int) -> list[Slab]:
     return slabs
 
 
-def exchange_halos(slabs: list[Slab]) -> int:
+def exchange_halos(
+    slabs: list[Slab],
+    *,
+    faults: "FaultPlan | None" = None,
+    validate: bool = False,
+) -> int:
     """Refresh every ghost plane from its neighbour's owned interior.
 
     Returns the number of planes moved (the quantity the cost model
     prices).  Mirrors a pairwise `cudaMemcpyPeer`/MPI exchange: lower
     ghosts receive the top of the slab below, upper ghosts the bottom of
     the slab above.
+
+    ``faults`` (a :class:`repro.gpusim.faults.FaultPlan`) perturbs
+    transferred ghost regions on the plan's ``exchange`` stream — the
+    stand-in for a corrupted PCIe/MPI transfer.  ``validate`` re-checks
+    every ghost plane against its source after the exchange and raises
+    :class:`repro.errors.HaloExchangeError` on any mismatch or
+    non-finite ghost, which is how a corrupted transfer is caught before
+    it silently poisons the next sweep.
     """
+    from repro.gpusim.faults import STREAM_EXCHANGE, observe_fault
+    from repro.obs.tracer import current_tracer
+
+    tracer = current_tracer()
     moved = 0
     for lo, hi in zip(slabs, slabs[1:]):
         r_up = hi.ghost_lo
         if r_up:
             hi.data[:r_up] = lo.interior_view()[lo.owned - r_up :]
             moved += r_up
+            if faults is not None:
+                event = faults.corrupt(hi.data[:r_up], STREAM_EXCHANGE)
+                if event is not None:
+                    observe_fault(
+                        tracer, event, stream=STREAM_EXCHANGE, slab=hi.index,
+                    )
         r_dn = lo.ghost_hi
         if r_dn:
             lo.data[lo.ghost_lo + lo.owned :] = hi.interior_view()[:r_dn]
             moved += r_dn
+            if faults is not None:
+                event = faults.corrupt(
+                    lo.data[lo.ghost_lo + lo.owned :], STREAM_EXCHANGE
+                )
+                if event is not None:
+                    observe_fault(
+                        tracer, event, stream=STREAM_EXCHANGE, slab=lo.index,
+                    )
+    if validate:
+        validate_halos(slabs)
     return moved
+
+
+def validate_halos(slabs: list[Slab]) -> None:
+    """Check every ghost plane is finite and matches its source exactly.
+
+    The integrity check a defensive exchange runs before trusting its
+    received buffers; raises :class:`repro.errors.HaloExchangeError`
+    naming the receiving slab and direction on the first violation.
+    """
+    for lo, hi in zip(slabs, slabs[1:]):
+        pairs = (
+            (hi, "lower", hi.data[: hi.ghost_lo],
+             lo.interior_view()[lo.owned - hi.ghost_lo :] if hi.ghost_lo else None),
+            (lo, "upper", lo.data[lo.ghost_lo + lo.owned :],
+             hi.interior_view()[: lo.ghost_hi] if lo.ghost_hi else None),
+        )
+        for slab, side, ghost, source in pairs:
+            if source is None or not len(ghost):
+                continue
+            if not np.isfinite(ghost).all():
+                raise HaloExchangeError(
+                    f"slab {slab.index}: non-finite value in {side} ghost "
+                    f"planes after exchange"
+                )
+            if not np.array_equal(ghost, source):
+                bad = int(np.argmax(np.any(ghost != source, axis=(1, 2))))
+                raise HaloExchangeError(
+                    f"slab {slab.index}: {side} ghost plane {bad} does not "
+                    f"match its neighbour's interior (corrupted transfer)"
+                )
 
 
 def merge_slabs(slabs: list[Slab]) -> np.ndarray:

@@ -16,7 +16,7 @@ dominates the shrinking kernel time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from repro.cluster.decompose import Slab, exchange_halos, merge_slabs, split_gri
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.executor import DeviceExecutor
 from repro.kernels.symmetric import SymmetricKernelPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpusim.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -93,10 +96,23 @@ class MultiGpuStencil:
     # ------------------------------------------------------------------
     # Numerics
     # ------------------------------------------------------------------
-    def run_steps(self, grid: np.ndarray, gpus: int, steps: int) -> np.ndarray:
+    def run_steps(
+        self,
+        grid: np.ndarray,
+        gpus: int,
+        steps: int,
+        *,
+        faults: "FaultPlan | None" = None,
+        validate: bool = False,
+    ) -> np.ndarray:
         """Execute ``steps`` sweeps with the slab-exchange schedule.
 
         Numerically exact: equals ``steps`` sweeps of the whole grid.
+        ``faults`` / ``validate`` are forwarded to
+        :func:`repro.cluster.decompose.exchange_halos` — with validation
+        on, a corrupted transfer raises
+        :class:`repro.errors.HaloExchangeError` instead of silently
+        contaminating subsequent sweeps.
         """
         plan = self.plan_builder()
         radius = plan.halo_radius()
@@ -104,7 +120,7 @@ class MultiGpuStencil:
         for _ in range(steps):
             for slab in slabs:
                 slab.data = plan.execute(slab.data)
-            exchange_halos(slabs)
+            exchange_halos(slabs, faults=faults, validate=validate)
         return merge_slabs(slabs)
 
     # ------------------------------------------------------------------

@@ -64,3 +64,68 @@ class GridShapeError(ReproError):
 
 class TuningError(ReproError):
     """Auto-tuning failed, e.g. an empty feasible parameter space."""
+
+
+class FaultInjectedError(ReproError):
+    """A simulated launch was killed by an injected fault.
+
+    The deterministic fault layer (:mod:`repro.gpusim.faults`) raises this
+    for kernel-launch failures — the analogue of ``cudaErrorLaunchFailure``
+    on real hardware.  ``kind`` names the fault taxonomy entry and
+    ``launch_index`` the position in the plan's launch stream, so a retry
+    harness can log exactly which injected event it survived.
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        kind: str = "launch_failure",
+        launch_index: int = -1,
+        rule: str | None = None,
+    ) -> None:
+        super().__init__(*args, rule=rule)
+        self.kind = kind
+        self.launch_index = launch_index
+
+
+class KernelHangError(ReproError):
+    """A simulated launch exceeded its cycle budget (watchdog timeout).
+
+    Raised both for injected hangs (``kind="hang"``) and for genuine
+    watchdog trips — a configuration whose clean simulated runtime exceeds
+    the per-trial cycle budget (``kind="watchdog"``).
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        kind: str = "hang",
+        cycles: float = 0.0,
+        budget: float | None = None,
+        launch_index: int = -1,
+        rule: str | None = None,
+    ) -> None:
+        super().__init__(*args, rule=rule)
+        self.kind = kind
+        self.cycles = cycles
+        self.budget = budget
+        self.launch_index = launch_index
+
+
+class HaloExchangeError(ReproError):
+    """A ghost-plane exchange failed its integrity validation.
+
+    Raised by :func:`repro.cluster.decompose.exchange_halos` when a
+    received ghost plane does not match the neighbour's source interior
+    (transfer corruption) or contains non-finite values (corruption that
+    happened upstream, in the computed planes themselves).
+    """
+
+
+class JournalError(ReproError):
+    """A tuning-trial journal cannot be used for checkpoint/resume.
+
+    Examples: resuming a journal whose header names a different tuning
+    session, a journal whose header line is unreadable, or ``--resume``
+    against a path that does not exist.
+    """

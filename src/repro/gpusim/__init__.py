@@ -21,6 +21,7 @@ The top-level entry point is :class:`repro.gpusim.executor.DeviceExecutor`.
 
 from repro.gpusim.device import DeviceSpec, get_device, list_devices, register_device
 from repro.gpusim.arch import Generation, WARP_SIZE
+from repro.gpusim.faults import FAULT_KINDS, FaultEvent, FaultPlan, flip_bit
 from repro.gpusim.occupancy import OccupancyResult, compute_occupancy
 from repro.gpusim.report import SimReport
 from repro.gpusim.executor import DeviceExecutor, simulate
@@ -32,6 +33,10 @@ __all__ = [
     "register_device",
     "Generation",
     "WARP_SIZE",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "flip_bit",
     "OccupancyResult",
     "compute_occupancy",
     "SimReport",

@@ -11,7 +11,16 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.errors import FaultInjectedError, KernelHangError
 from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.faults import (
+    KIND_ECC,
+    KIND_HANG,
+    KIND_LAUNCH_FAILURE,
+    KIND_THROTTLE,
+    FaultPlan,
+    observe_fault,
+)
 from repro.gpusim.report import SimReport
 from repro.gpusim.timing import TimingParams, params_for, time_kernel
 from repro.metrics.efficiency import mpoints_to_gflops
@@ -33,13 +42,32 @@ class DeviceExecutor:
     params:
         Optional timing-parameter override (used by ablation benches, e.g.
         to switch the L2 halo-reuse effect off).
+    faults:
+        Optional deterministic fault schedule
+        (:class:`repro.gpusim.faults.FaultPlan`).  ``None`` (the default)
+        leaves every launch untouched — the hooks below are single
+        ``is None`` branches, so a fault-free executor is bit-identical
+        to one built before the fault layer existed.
+    watchdog_cycles:
+        Per-launch simulated-cycle budget.  A launch exceeding it raises
+        :class:`repro.errors.KernelHangError` — the per-trial timeout the
+        resilient tuning session leans on.  Overrides the plan's own
+        ``watchdog_cycles`` when both are set.
     """
 
     def __init__(
-        self, device: DeviceSpec | str, params: TimingParams | None = None
+        self,
+        device: DeviceSpec | str,
+        params: TimingParams | None = None,
+        faults: FaultPlan | None = None,
+        watchdog_cycles: float | None = None,
     ) -> None:
         self.device = get_device(device) if isinstance(device, str) else device
         self.params = params
+        self.faults = faults
+        self.watchdog_cycles = watchdog_cycles
+        if watchdog_cycles is None and faults is not None:
+            self.watchdog_cycles = faults.watchdog_cycles
 
     def run(
         self,
@@ -53,12 +81,62 @@ class DeviceExecutor:
         workload (e.g. the tuners' static pre-filter) reuse it instead of
         paying the traffic enumeration twice.
         """
+        tracer = current_tracer()
+        event = None
+        if self.faults is not None:
+            event = self.faults.event_for(self.faults.next_index())
+        if event is not None and event.kind == KIND_LAUNCH_FAILURE:
+            observe_fault(tracer, event, kernel=plan.name)
+            raise FaultInjectedError(
+                f"injected launch failure for {plan.name} "
+                f"(launch {event.index})",
+                kind=event.kind, launch_index=event.index,
+            )
+
         if block is None:
             block = plan.block_workload(self.device, grid_shape)
         grid = plan.grid_workload(self.device, grid_shape)
         timing = time_kernel(block, grid, self.device, self.params)
 
-        time_s = timing.total_cycles / self.device.clock_hz
+        if event is not None and event.kind == KIND_HANG:
+            hang_cycles = timing.total_cycles * (
+                self.faults.hang_multiplier if self.faults else 1.0
+            )
+            observe_fault(tracer, event, kernel=plan.name, cycles=hang_cycles)
+            raise KernelHangError(
+                f"injected hang for {plan.name}: {hang_cycles:.0f} simulated "
+                f"cycles exceed the watchdog budget (launch {event.index})",
+                kind=event.kind, cycles=hang_cycles,
+                budget=self.watchdog_cycles, launch_index=event.index,
+            )
+        if (
+            self.watchdog_cycles is not None
+            and timing.total_cycles > self.watchdog_cycles
+        ):
+            raise KernelHangError(
+                f"{plan.name} exceeded the per-trial cycle budget: "
+                f"{timing.total_cycles:.0f} > {self.watchdog_cycles:.0f}",
+                kind="watchdog", cycles=timing.total_cycles,
+                budget=self.watchdog_cycles,
+            )
+
+        derate = 1.0
+        faults_meta: list[dict] = []
+        if event is not None and event.kind == KIND_THROTTLE:
+            derate = event.factor
+            observe_fault(tracer, event, kernel=plan.name, factor=event.factor)
+            faults_meta.append({
+                "kind": event.kind, "launch_index": event.index,
+                "factor": round(event.factor, 6),
+            })
+        elif event is not None and event.kind == KIND_ECC:
+            observe_fault(tracer, event, kernel=plan.name)
+            faults_meta.append({"kind": event.kind, "launch_index": event.index})
+
+        # A throttled launch completes, but the derated clock stretches its
+        # wall time: every time-derived headline degrades by the factor
+        # while the cycle counts (clock-independent) stay pristine.
+        time_s = timing.total_cycles / self.device.clock_hz * derate
         # Credit what one pass actually produces: grid.total_points covers
         # kernels whose single sweep yields multiple logical time steps
         # (temporal blocking).
@@ -97,9 +175,9 @@ class DeviceExecutor:
                 "block": plan.block_label(),
                 "dtype": plan.dtype_name,
                 "variant": plan.variant,
+                **({"faults": faults_meta} if faults_meta else {}),
             },
         )
-        tracer = current_tracer()
         if tracer is not None:
             from repro.obs.simtrace import emit_kernel_spans
 

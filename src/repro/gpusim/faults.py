@@ -1,0 +1,325 @@
+"""Deterministic fault injection for the simulated GPU.
+
+Real tuning campaigns lose hours to hung kernels, ECC events and crashed
+runs (the fragility that motivates the paper's section VI economy
+argument); this module gives the simulator the same failure modes so the
+resilient layers above it (:mod:`repro.tuning.robust`, the solver and
+halo-exchange guards) can be exercised deterministically:
+
+* **launch failures** — the launch dies before producing a result
+  (``cudaErrorLaunchFailure``): :class:`repro.errors.FaultInjectedError`;
+* **hangs** — the launch's simulated-cycle count blows past the watchdog
+  budget: :class:`repro.errors.KernelHangError`;
+* **thermal throttling** — the launch completes but the clock is derated,
+  so the *measurement* is degraded (a silently-wrong tuning sample);
+* **ECC events** — the launch completes but its computed planes are
+  suspect; array-side helpers (:func:`flip_bit`, :meth:`FaultPlan.corrupt`)
+  perturb real data for the numerics guards to catch.
+
+Determinism is the core contract: a :class:`FaultPlan` is a pure function
+of ``(seed, stream, index)`` — the same plan replayed against the same
+sequence of launches injects the *identical* fault sequence, trial for
+trial, across processes (no ``PYTHONHASHSEED`` dependence).  Each
+consumer stream (device launches, halo exchanges, solver sweeps) has its
+own monotonic index, advanced by :meth:`next_index`.
+
+With no plan installed (``faults=None`` everywhere) every hook is a
+no-op branch — zero perturbation of the simulated numbers, which is what
+keeps the recorded ``BENCH_profile.json`` trajectory bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Fault-taxonomy kind names (also the ``sim.fault.<kind>`` metric suffixes).
+KIND_LAUNCH_FAILURE = "launch_failure"
+KIND_HANG = "hang"
+KIND_THROTTLE = "throttle"
+KIND_ECC = "ecc"
+
+FAULT_KINDS: tuple[str, ...] = (
+    KIND_LAUNCH_FAILURE,
+    KIND_HANG,
+    KIND_THROTTLE,
+    KIND_ECC,
+)
+
+#: Launch stream name used by :class:`repro.gpusim.executor.DeviceExecutor`.
+STREAM_LAUNCH = "launch"
+#: Exchange stream name used by :func:`repro.cluster.decompose.exchange_halos`.
+STREAM_EXCHANGE = "exchange"
+#: Sweep stream name used by :class:`repro.solvers.JacobiPoissonSolver`.
+STREAM_SOLVER = "solver"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: what, where in the stream, and how hard.
+
+    ``factor`` carries the throttle derating (wall-clock multiplier > 1)
+    for ``kind == "throttle"`` and is 1.0 otherwise.
+    """
+
+    kind: str
+    index: int
+    factor: float = 1.0
+
+    def describe(self) -> str:
+        if self.kind == KIND_THROTTLE:
+            return f"{self.kind}[{self.index}] x{self.factor:.2f}"
+        return f"{self.kind}[{self.index}]"
+
+
+@dataclass
+class FaultPlan:
+    """Seeded, deterministic fault schedule.
+
+    Rates are per-draw probabilities; at most one fault fires per draw
+    (a single uniform sample is compared against the cumulative rates, so
+    the rates are exact and must sum to <= 1).  ``burst`` limits injection
+    to the first ``burst`` draws of every stream — a storm that passes —
+    which is how the degradation tests model "a tier that keeps faulting
+    while the campaign as a whole can still succeed".
+
+    ``watchdog_cycles`` arms the executor's watchdog even for clean
+    launches: any launch whose simulated cycles exceed the budget raises
+    :class:`repro.errors.KernelHangError`, which is how per-trial timeout
+    budgets are enforced on a simulator that never actually blocks.
+
+    ``ecc_mode`` selects how :meth:`corrupt` perturbs arrays: ``"flip"``
+    flips one mantissa/exponent bit (a single-bit ECC event), ``"nan"``
+    overwrites one element with NaN (an uncorrectable double-bit error
+    surfacing as garbage).
+    """
+
+    seed: int = 0
+    launch_failure_rate: float = 0.0
+    hang_rate: float = 0.0
+    throttle_rate: float = 0.0
+    ecc_rate: float = 0.0
+    throttle_min: float = 1.2
+    throttle_max: float = 2.5
+    hang_multiplier: float = 64.0
+    watchdog_cycles: float | None = None
+    burst: int | None = None
+    ecc_mode: str = "flip"
+    _counters: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.launch_failure_rate,
+            self.hang_rate,
+            self.throttle_rate,
+            self.ecc_rate,
+        )
+        if any(r < 0.0 for r in rates) or sum(rates) > 1.0 + 1e-12:
+            raise ConfigurationError(
+                "fault rates must be non-negative and sum to <= 1, got "
+                f"launch={rates[0]}, hang={rates[1]}, throttle={rates[2]}, "
+                f"ecc={rates[3]}"
+            )
+        if not 1.0 <= self.throttle_min <= self.throttle_max:
+            raise ConfigurationError(
+                f"throttle factors must satisfy 1 <= min <= max, got "
+                f"[{self.throttle_min}, {self.throttle_max}]"
+            )
+        if self.hang_multiplier < 1.0:
+            raise ConfigurationError("hang_multiplier must be >= 1")
+        if self.ecc_mode not in ("flip", "nan"):
+            raise ConfigurationError(
+                f"ecc_mode must be 'flip' or 'nan', got {self.ecc_mode!r}"
+            )
+
+    # -- determinism core --------------------------------------------------
+
+    def _rng(self, stream: str, index: int) -> random.Random:
+        """Process-independent RNG for one (seed, stream, index) cell."""
+        mix = (
+            (self.seed & 0xFFFFFFFF) * 0x9E3779B1
+            + zlib.crc32(stream.encode("ascii"))
+            + index * 0x85EBCA77
+        ) & 0xFFFFFFFFFFFF
+        return random.Random(mix)
+
+    def next_index(self, stream: str = STREAM_LAUNCH) -> int:
+        """Advance and return ``stream``'s monotonic draw index."""
+        index = self._counters.get(stream, 0)
+        self._counters[stream] = index + 1
+        return index
+
+    def reset(self) -> None:
+        """Rewind every stream to index 0 (fresh replay of the plan)."""
+        self._counters.clear()
+
+    @property
+    def fault_rate(self) -> float:
+        """Total per-draw probability of any fault firing."""
+        return (
+            self.launch_failure_rate
+            + self.hang_rate
+            + self.throttle_rate
+            + self.ecc_rate
+        )
+
+    # -- event schedule ----------------------------------------------------
+
+    def event_for(self, index: int, stream: str = STREAM_LAUNCH) -> FaultEvent | None:
+        """The fault injected at ``stream``'s draw ``index``, if any.
+
+        Pure: does not advance any counter, so tests can enumerate the
+        whole schedule up front and assert the executor saw exactly it.
+        """
+        if self.fault_rate == 0.0:
+            return None
+        if self.burst is not None and index >= self.burst:
+            return None
+        rng = self._rng(stream, index)
+        u = rng.random()
+        edge = self.launch_failure_rate
+        if u < edge:
+            return FaultEvent(KIND_LAUNCH_FAILURE, index)
+        edge += self.hang_rate
+        if u < edge:
+            return FaultEvent(KIND_HANG, index)
+        edge += self.throttle_rate
+        if u < edge:
+            factor = rng.uniform(self.throttle_min, self.throttle_max)
+            return FaultEvent(KIND_THROTTLE, index, factor=factor)
+        edge += self.ecc_rate
+        if u < edge:
+            return FaultEvent(KIND_ECC, index)
+        return None
+
+    def schedule(self, n: int, stream: str = STREAM_LAUNCH) -> list[FaultEvent | None]:
+        """The first ``n`` draws of ``stream`` — the reproducibility witness."""
+        return [self.event_for(i, stream) for i in range(n)]
+
+    # -- array-side ECC injection -----------------------------------------
+
+    def corrupt(self, array: np.ndarray, stream: str = STREAM_SOLVER) -> FaultEvent | None:
+        """Maybe perturb ``array`` in place (one draw on ``stream``).
+
+        Only ``ecc``-kind events touch the data; other kinds make no sense
+        for an in-memory array and are reported to the caller untouched
+        (a launch-shaped fault against a data stream is still *observed*,
+        it just cannot corrupt anything here).
+        """
+        index = self.next_index(stream)
+        event = self.event_for(index, stream)
+        if event is None or event.kind != KIND_ECC:
+            return event
+        rng = self._rng(stream + ".payload", index)
+        if self.ecc_mode == "nan":
+            flat = array.reshape(-1)
+            flat[rng.randrange(flat.size)] = np.nan
+        else:
+            flip_bit(array, rng)
+        return event
+
+    # -- CLI spec ----------------------------------------------------------
+
+    _SPEC_KEYS = {
+        "seed": ("seed", int),
+        "launch": ("launch_failure_rate", float),
+        "hang": ("hang_rate", float),
+        "throttle": ("throttle_rate", float),
+        "ecc": ("ecc_rate", float),
+        "throttle_min": ("throttle_min", float),
+        "throttle_max": ("throttle_max", float),
+        "burst": ("burst", int),
+        "watchdog": ("watchdog_cycles", float),
+        "ecc_mode": ("ecc_mode", str),
+    }
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a CLI spec like ``"seed=7,launch=0.1,hang=0.02"``.
+
+        Keys: ``seed``, ``launch``, ``hang``, ``throttle``, ``ecc``
+        (rates), ``throttle_min``/``throttle_max``, ``burst``,
+        ``watchdog``, ``ecc_mode``.
+        """
+        kwargs: dict[str, Any] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in cls._SPEC_KEYS:
+                known = ", ".join(sorted(cls._SPEC_KEYS))
+                raise ConfigurationError(
+                    f"bad fault spec entry {part!r}; expected key=value with "
+                    f"key in {{{known}}}"
+                )
+            attr, cast = cls._SPEC_KEYS[key]
+            try:
+                kwargs[attr] = cast(value.strip())
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad fault spec value {part!r}: {exc}"
+                ) from exc
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """One-line summary for logs and journal headers."""
+        parts = [f"seed={self.seed}"]
+        for label, rate in (
+            ("launch", self.launch_failure_rate),
+            ("hang", self.hang_rate),
+            ("throttle", self.throttle_rate),
+            ("ecc", self.ecc_rate),
+        ):
+            if rate:
+                parts.append(f"{label}={rate:g}")
+        if self.burst is not None:
+            parts.append(f"burst={self.burst}")
+        if self.watchdog_cycles is not None:
+            parts.append(f"watchdog={self.watchdog_cycles:g}")
+        return ",".join(parts)
+
+
+def observe_fault(tracer: Any, event: FaultEvent, **args: Any) -> None:
+    """Surface one injected fault in the obs layer (instant + counter).
+
+    ``tracer`` is a :class:`repro.obs.tracer.Tracer` or ``None`` (no-op);
+    typed as ``Any`` to keep this module import-light.
+    """
+    if tracer is None:
+        return
+    from repro.obs.schema import CAT_SIM_FAULT
+
+    tracer.instant(
+        f"fault.{event.kind}", CAT_SIM_FAULT,
+        kind=event.kind, launch_index=event.index, **args,
+    )
+    tracer.metrics.counter(f"sim.fault.{event.kind}").inc()
+
+
+def flip_bit(array: np.ndarray, rng: random.Random) -> tuple[int, int]:
+    """Flip one random bit of one random element of ``array`` in place.
+
+    The single-bit ECC-event model: the element keeps its type but its
+    value silently changes (possibly into an Inf/NaN pattern for exponent
+    bits).  Returns ``(flat_index, bit)`` for diagnostics.
+    """
+    if array.size == 0:
+        raise ConfigurationError("cannot flip a bit of an empty array")
+    uint = {4: np.uint32, 8: np.uint64}.get(array.dtype.itemsize)
+    if uint is None:
+        raise ConfigurationError(
+            f"bit flips support 4/8-byte dtypes, got {array.dtype}"
+        )
+    flat = array.reshape(-1).view(uint)
+    idx = rng.randrange(flat.size)
+    bit = rng.randrange(array.dtype.itemsize * 8)
+    flat[idx] ^= uint(1) << uint(bit)
+    return idx, bit

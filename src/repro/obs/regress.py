@@ -137,6 +137,7 @@ class DiffReport:
     diffs: tuple[RecordDiff, ...]      #: only records that changed
     errors: tuple[str, ...]            #: records that failed to resimulate
     tolerance: float
+    skipped: int = 0                   #: faulted records (not comparable)
 
     @property
     def regressions(self) -> tuple[RecordDiff, ...]:
@@ -155,8 +156,9 @@ class DiffReport:
             f"bench diff vs {self.baseline_path}: {self.total} records, "
             f"{len(self.regressions)} regression(s), "
             f"{len(self.improvements)} improvement(s), "
-            f"{len(self.diffs)} changed, {len(self.errors)} error(s) "
-            f"(tolerance {self.tolerance:g})"
+            f"{len(self.diffs)} changed, {len(self.errors)} error(s)"
+            + (f", {self.skipped} faulted skipped" if self.skipped else "")
+            + f" (tolerance {self.tolerance:g})"
         ]
         for d in self.diffs:
             lines.append("  " + d.render())
@@ -173,6 +175,7 @@ class DiffReport:
             "tolerance": self.tolerance,
             "regressions": len(self.regressions),
             "improvements": len(self.improvements),
+            "skipped_faulted": self.skipped,
             "errors": list(self.errors),
             "diffs": [
                 {
@@ -248,7 +251,14 @@ def diff_baseline(path: str | Path, tolerance: float = 0.0) -> DiffReport:
     records = load_profile(path)
     diffs: list[RecordDiff] = []
     errors: list[str] = []
+    skipped = 0
     for record in records:
+        if record.faulted:
+            # A faulted measurement is not a performance statement: the
+            # clean resimulation *should* disagree with it, so diffing it
+            # would manufacture false regressions.
+            skipped += 1
+            continue
         result = diff_record(record, tolerance)
         if isinstance(result, str):
             errors.append(result)
@@ -260,4 +270,5 @@ def diff_baseline(path: str | Path, tolerance: float = 0.0) -> DiffReport:
         diffs=tuple(diffs),
         errors=tuple(errors),
         tolerance=tolerance,
+        skipped=skipped,
     )

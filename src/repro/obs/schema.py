@@ -38,12 +38,17 @@ CAT_TUNE_RUN = "tune.run"            #: one whole tuner invocation (host)
 CAT_TUNE_TRIAL = "tune.trial"        #: one evaluated/rejected configuration
 CAT_HARNESS = "harness.experiment"   #: experiment-driver scope (host)
 CAT_CLI = "cli"                      #: CLI command scope (host)
+#: One injected fault (host instant; see ``repro.gpusim.faults``).  Added
+#: after the v2 freeze as a pure extension: traces without faults are
+#: byte-identical to pre-fault v2 traces, so no version bump.
+CAT_SIM_FAULT = "sim.fault"
 
 CATEGORIES = frozenset({
     CAT_SIM_KERNEL,
     CAT_SIM_WAVE,
     CAT_SIM_PLANE,
     CAT_SIM_COMPONENT,
+    CAT_SIM_FAULT,
     CAT_TUNE_RUN,
     CAT_TUNE_TRIAL,
     CAT_HARNESS,

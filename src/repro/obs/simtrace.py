@@ -71,6 +71,12 @@ def emit_kernel_spans(
         blocks=timing.blocks,
         breakdown=dict(report.breakdown),
         counters=counters.as_dict(),
+        # Present only on launches an injected fault touched (throttle /
+        # ECC); clean traces carry exactly the pre-fault-layer args.
+        **(
+            {"faults": report.meta["faults"]}
+            if report.meta.get("faults") else {}
+        ),
     )
 
     _, replay_slots = shared_replay_slots(workload, device)

@@ -24,8 +24,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 #: ``BENCH_profile.json`` document version (independent of the Chrome
 #: trace's ``repro.obs.schema.SCHEMA_VERSION``).  v1: headline numbers +
 #: breakdown.  v2: adds the hardware-counter set and the grid shape.
-#: :func:`load_profile` still reads v1 documents.
-PROFILE_SCHEMA_VERSION = 2
+#: v3: adds the ``faulted`` flag (an injected fault touched the launch, so
+#: the record is a corrupted measurement, not a performance statement).
+#: :func:`load_profile` still reads v1 and v2 documents.
+PROFILE_SCHEMA_VERSION = 3
 
 #: Grid v1 records were (implicitly) produced on — the paper's benchmark
 #: volume; v2 records carry their grid explicitly.
@@ -51,6 +53,10 @@ class TelemetryRecord:
     counters: dict[str, Any] = field(default_factory=dict)
     grid: tuple[int, int, int] = _V1_GRID
     source: str = ""
+    #: An injected fault (throttle/ECC) touched this launch: the numbers
+    #: are a *faulted measurement*, and the regression sentinel must not
+    #: treat them as a baseline performance statement.
+    faulted: bool = False
 
     @property
     def key(self) -> tuple[str, str, int, str]:
@@ -88,27 +94,30 @@ def record_from_report(
         ),
         grid=grid,  # type: ignore[arg-type]
         source=source,
+        faulted=bool(report.meta.get("faults")),
     )
 
 
 def load_profile(path: str | Path) -> list[TelemetryRecord]:
-    """Read a ``BENCH_profile.json`` document, v1 or v2.
+    """Read a ``BENCH_profile.json`` document, v1 through v3.
 
     v1 records predate the counter set: they load with ``counters={}``
     and the implicit paper grid, so the regression sentinel can still
     diff against them (resimulation recomputes what the record lacks).
+    v1/v2 records predate fault injection and load as ``faulted=False``.
     """
     doc = json.loads(Path(path).read_text())
     version = doc.get("schema_version")
-    if version not in (1, PROFILE_SCHEMA_VERSION):
+    if version not in (1, 2, PROFILE_SCHEMA_VERSION):
         raise ValueError(
             f"{path}: unsupported profile schema_version {version!r} "
-            f"(readable: 1, {PROFILE_SCHEMA_VERSION})"
+            f"(readable: 1, 2, {PROFILE_SCHEMA_VERSION})"
         )
     records = []
     for raw in doc["records"]:
         raw = dict(raw)
         raw.setdefault("counters", {})
+        raw.setdefault("faulted", False)
         raw["grid"] = tuple(raw.get("grid", _V1_GRID))
         records.append(TelemetryRecord(**raw))
     return records

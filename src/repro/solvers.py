@@ -12,6 +12,7 @@ check actual convergence rates, not just single sweeps).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -20,6 +21,15 @@ from repro.kernels.config import BlockConfig
 from repro.kernels.multigrid import MultiGridKernel
 from repro.stencils.applications import laplacian, poisson
 from repro.stencils.reference import apply_expr
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpusim.faults import FaultPlan
+
+#: ``SolveResult.status`` vocabulary.
+STATUS_CONVERGED = "converged"
+STATUS_MAX_ITERATIONS = "max_iterations"
+STATUS_DIVERGED = "diverged"
+STATUS_NON_FINITE = "non_finite"
 
 
 @dataclass
@@ -37,12 +47,29 @@ class SolveResult:
     residual_history:
         Max-norm residual ``|lap(u) - f|`` sampled every ``check_every``
         sweeps (including the final one).
+    status:
+        ``"converged"``, ``"max_iterations"``, ``"diverged"`` (the
+        residual blew up relative to the best seen — the iteration is
+        actively getting worse, so burning the remaining budget is
+        pointless) or ``"non_finite"`` (NaN/Inf contaminated the iterate
+        or the residual, e.g. an injected ECC event).  The last two stop
+        the solve early.
+    faults:
+        Number of injected faults that perturbed the iterate (0 without
+        a fault plan).
     """
 
     solution: np.ndarray
     iterations: int
     converged: bool
     residual_history: list[float] = field(default_factory=list)
+    status: str = STATUS_MAX_ITERATIONS
+    faults: int = 0
+
+    @property
+    def diverged(self) -> bool:
+        """Did the solve stop early on divergence or NaN/Inf?"""
+        return self.status in (STATUS_DIVERGED, STATUS_NON_FINITE)
 
 
 class JacobiPoissonSolver:
@@ -82,12 +109,26 @@ class JacobiPoissonSolver:
         tol: float = 1e-6,
         max_iterations: int = 5000,
         check_every: int = 25,
+        faults: "FaultPlan | None" = None,
+        divergence_factor: float = 1e3,
     ) -> SolveResult:
         """Iterate until the residual drops below ``tol``.
 
         ``u0`` supplies both the initial guess and the fixed boundary
-        values.
+        values.  Each residual check also guards the iteration: a NaN/Inf
+        iterate or residual stops the solve with ``status="non_finite"``,
+        and a residual exceeding ``divergence_factor`` times the best one
+        seen stops it with ``status="diverged"`` — both report honestly
+        instead of silently burning the remaining sweep budget.
+
+        ``faults`` (a :class:`repro.gpusim.faults.FaultPlan`) perturbs
+        the iterate after each sweep on the plan's ``solver`` stream —
+        the deterministic stand-in for device-memory ECC events that the
+        guards above are tested against.
         """
+        from repro.gpusim.faults import STREAM_SOLVER, observe_fault
+        from repro.obs.tracer import current_tracer
+
         if tol <= 0:
             raise ConfigurationError("tol must be positive")
         if max_iterations < 1:
@@ -95,23 +136,46 @@ class JacobiPoissonSolver:
         u = np.asarray(u0, dtype=self.kernel.dtype).copy()
         f = np.asarray(f, dtype=self.kernel.dtype)
         history: list[float] = []
+        tracer = current_tracer()
+        injected = 0
+        best = np.inf
 
         for it in range(1, max_iterations + 1):
             nxt = self.kernel.execute(u, f)[0]
             if self.weight != 1.0:
                 nxt = (1.0 - self.weight) * u + self.weight * nxt
             u = nxt
+            if faults is not None:
+                event = faults.corrupt(u, STREAM_SOLVER)
+                if event is not None:
+                    observe_fault(tracer, event, sweep=it, stream=STREAM_SOLVER)
+                    injected += 1
             if it % check_every == 0 or it == max_iterations:
                 res = self.residual(u, f)
                 history.append(res)
+                if not np.isfinite(res) or not np.isfinite(u).all():
+                    return SolveResult(
+                        solution=u, iterations=it, converged=False,
+                        residual_history=history, status=STATUS_NON_FINITE,
+                        faults=injected,
+                    )
                 if res < tol:
                     return SolveResult(
                         solution=u, iterations=it, converged=True,
-                        residual_history=history,
+                        residual_history=history, status=STATUS_CONVERGED,
+                        faults=injected,
                     )
+                if res > divergence_factor * max(best, tol):
+                    return SolveResult(
+                        solution=u, iterations=it, converged=False,
+                        residual_history=history, status=STATUS_DIVERGED,
+                        faults=injected,
+                    )
+                best = min(best, res)
         return SolveResult(
             solution=u, iterations=max_iterations, converged=False,
-            residual_history=history,
+            residual_history=history, status=STATUS_MAX_ITERATIONS,
+            faults=injected,
         )
 
 

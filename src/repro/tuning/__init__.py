@@ -9,25 +9,45 @@
 * :mod:`repro.tuning.modelbased` — the section VI procedure: rank all
   configurations by the model, execute only the top beta% on the
   simulator, return the best measured one.
+* :mod:`repro.tuning.evaluator` — the per-trial measurement seam shared
+  by all tuners.
+* :mod:`repro.tuning.robust` — crash-safe, self-healing tuning sessions:
+  retries, per-config quarantine, resume journal, graceful degradation.
 """
 
 from repro.tuning.space import ParameterSpace, default_space
 from repro.tuning.result import TuneEntry, TuneResult
+from repro.tuning.evaluator import SimTrialEvaluator, TrialEvaluator, TrialOutcome
 from repro.tuning.exhaustive import exhaustive_tune
 from repro.tuning.perfmodel import PaperModel, ModelInputs
 from repro.tuning.modelbased import model_based_tune
 from repro.tuning.stochastic import stochastic_tune
 from repro.tuning.cache import TuningCache
+from repro.tuning.robust import (
+    ResilientEvaluator,
+    RetryPolicy,
+    RobustTuningSession,
+    SessionResult,
+    TrialJournal,
+)
 
 __all__ = [
     "ParameterSpace",
     "default_space",
     "TuneEntry",
     "TuneResult",
+    "TrialEvaluator",
+    "TrialOutcome",
+    "SimTrialEvaluator",
     "exhaustive_tune",
     "PaperModel",
     "ModelInputs",
     "model_based_tune",
     "stochastic_tune",
     "TuningCache",
+    "ResilientEvaluator",
+    "RetryPolicy",
+    "RobustTuningSession",
+    "SessionResult",
+    "TrialJournal",
 ]

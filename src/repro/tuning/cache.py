@@ -10,11 +10,15 @@ grid, space signature).
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
+import logging
+import os
+import tempfile
 from pathlib import Path
 
 from repro.kernels.config import BlockConfig
 from repro.tuning.result import TuneEntry, TuneResult
+
+logger = logging.getLogger("repro.tuning.cache")
 
 
 def _key(
@@ -37,8 +41,14 @@ class TuningCache:
         if self.path.exists():
             try:
                 self._data = json.loads(self.path.read_text())
-            except (OSError, json.JSONDecodeError):
-                # A corrupt cache is regenerated, never fatal.
+            except (OSError, json.JSONDecodeError) as exc:
+                # A corrupt cache is regenerated, never fatal — but the
+                # drop is loud enough to investigate (a half-written file
+                # here usually means a process died mid-write elsewhere).
+                logger.warning(
+                    "dropping corrupt tuning cache %s (%s); it will be "
+                    "regenerated", self.path, exc,
+                )
                 self._data = {}
 
     def get(
@@ -89,7 +99,26 @@ class TuningCache:
             "method": result.method,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(self._data, indent=1, default=str))
+        # Atomic publish: write the whole document to a sibling temp file
+        # and os.replace() it over the cache, so a reader (or a crash)
+        # never sees a half-written JSON — the corruption mode the loader
+        # above has to tolerate is thereby limited to external causes.
+        payload = json.dumps(self._data, indent=1, default=str)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def __len__(self) -> int:
         return len(self._data)

@@ -1,0 +1,154 @@
+"""The trial evaluator — the tuners' single seam for measuring a config.
+
+All three tuners (exhaustive, stochastic, model-based) used to call
+``DeviceExecutor.run`` inline; that made it impossible to interpose
+retry/quarantine/journal logic without forking each search loop.  This
+module extracts the per-trial measurement into a small protocol:
+
+* :meth:`TrialEvaluator.statically_rejected` — the static resource
+  pre-filter (identical occupancy check the executor would run);
+* :meth:`TrialEvaluator.measure` — execute one configuration and
+  classify the result into a :class:`TrialOutcome`.
+
+:class:`SimTrialEvaluator` is the default implementation and reproduces
+the tuners' historical behaviour exactly — a tuner built with
+``evaluator=None`` is bit-identical to the pre-evaluator code path.
+:class:`repro.tuning.robust.ResilientEvaluator` wraps it with retries,
+per-config quarantine and a crash-safe journal.
+
+The tuners keep ownership of tracing (spans, instants, metric counters):
+the evaluator measures, the search loop narrates.  That split keeps the
+obs-layer semantics frozen by ``tests/test_obs_reconcile.py`` untouched
+regardless of which evaluator is plugged in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Protocol
+
+from repro.analysis.resources import launch_failure
+from repro.errors import ResourceLimitError
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.executor import DeviceExecutor
+from repro.kernels.config import BlockConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpusim.workload import BlockWorkload
+    from repro.kernels.base import KernelPlan
+
+#: Trial classification vocabulary (also the journal's ``status`` field).
+STATUS_OK = "ok"
+STATUS_REJECTED_STATIC = "rejected_static"
+STATUS_REJECTED_SIMULATED = "rejected_simulated"
+STATUS_QUARANTINED = "quarantined"
+
+TRIAL_STATUSES: tuple[str, ...] = (
+    STATUS_OK,
+    STATUS_REJECTED_STATIC,
+    STATUS_REJECTED_SIMULATED,
+    STATUS_QUARANTINED,
+)
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """What measuring one configuration produced.
+
+    ``faults`` lists the fault kinds that touched the *returned*
+    measurement (empty for a clean launch); a resilient evaluator retries
+    faulted measurements, so a non-empty list here means retries were
+    exhausted and the number should be treated as degraded.  ``attempts``
+    counts executor launches spent on this config (1 for a clean first
+    try); ``replayed`` marks outcomes restored from a resume journal
+    without re-running anything.
+    """
+
+    config: BlockConfig
+    status: str
+    mpoints_per_s: float = 0.0
+    info: dict[str, Any] = field(default_factory=dict)
+    attempts: int = 1
+    faults: tuple[str, ...] = ()
+    replayed: bool = False
+
+    @property
+    def measured(self) -> bool:
+        """Did this trial produce a usable rate?"""
+        return self.status == STATUS_OK
+
+
+class TrialEvaluator(Protocol):
+    """What a tuner needs from its measurement backend."""
+
+    def statically_rejected(self, block: "BlockWorkload") -> bool:
+        """Would the static resource check refuse this launch?"""
+        ...  # pragma: no cover - protocol
+
+    def measure(
+        self,
+        cfg: BlockConfig,
+        plan: "KernelPlan",
+        grid_shape: tuple[int, int, int],
+        block: "BlockWorkload",
+    ) -> TrialOutcome:
+        """Execute one configuration and classify the result."""
+        ...  # pragma: no cover - protocol
+
+
+class SimTrialEvaluator:
+    """The plain evaluator: one simulator launch per measure call.
+
+    Parameters
+    ----------
+    device:
+        The simulated device trials run on.
+    prefilter:
+        Mirrors the tuners' historical ``prefilter`` flag: with it off,
+        :meth:`statically_rejected` always answers ``False`` and
+        unlaunchable configurations are discovered by the simulator
+        (``rejected_simulated``) instead.
+    executor:
+        Injectable executor — the fault-injection tests and the resilient
+        session pass one built with a :class:`repro.gpusim.faults.FaultPlan`.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        *,
+        prefilter: bool = True,
+        executor: DeviceExecutor | None = None,
+    ) -> None:
+        self.device = device
+        self.prefilter = prefilter
+        self.executor = executor or DeviceExecutor(device)
+
+    def statically_rejected(self, block: "BlockWorkload") -> bool:
+        return self.prefilter and launch_failure(block, self.device) is not None
+
+    def measure(
+        self,
+        cfg: BlockConfig,
+        plan: "KernelPlan",
+        grid_shape: tuple[int, int, int],
+        block: "BlockWorkload",
+    ) -> TrialOutcome:
+        try:
+            report = self.executor.run(plan, grid_shape, block=block)
+        except ResourceLimitError:
+            return TrialOutcome(config=cfg, status=STATUS_REJECTED_SIMULATED)
+        faults = tuple(
+            str(f.get("kind", "?")) for f in report.meta.get("faults", ())
+        )
+        return TrialOutcome(
+            config=cfg,
+            status=STATUS_OK,
+            mpoints_per_s=report.mpoints_per_s,
+            info={
+                "load_efficiency": report.load_efficiency,
+                "occupancy": report.occupancy.occupancy,
+                "limiter": report.occupancy.limiter,
+            },
+            faults=faults,
+        )

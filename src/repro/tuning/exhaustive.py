@@ -10,14 +10,18 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.analysis.resources import launch_failure
-from repro.errors import ResourceLimitError, TuningError
+from repro.errors import TuningError
 from repro.gpusim.device import DeviceSpec
-from repro.gpusim.executor import DeviceExecutor
 from repro.kernels.base import KernelPlan
 from repro.kernels.config import BlockConfig
 from repro.obs.schema import CAT_TUNE_RUN, CAT_TUNE_TRIAL
 from repro.obs.tracer import current_tracer, maybe_span
+from repro.tuning.evaluator import (
+    STATUS_QUARANTINED,
+    STATUS_REJECTED_SIMULATED,
+    SimTrialEvaluator,
+    TrialEvaluator,
+)
 from repro.tuning.result import TuneEntry, TuneResult
 from repro.tuning.space import ParameterSpace, default_space
 
@@ -32,25 +36,34 @@ def evaluate_configs(
     *,
     prefilter: bool = True,
     stats: dict[str, Any] | None = None,
+    evaluator: TrialEvaluator | None = None,
 ) -> list[TuneEntry]:
     """Execute each configuration; unlaunchable ones are dropped.
 
     With ``prefilter`` (the default) the static resource check rejects
     unlaunchable configurations from the workload record alone, skipping
-    the full timing pipeline; :func:`launch_failure` runs the identical
-    occupancy check the executor would, so the surviving set — and hence
-    the chosen optimum — is unchanged.  ``stats`` (optional, mutated in
-    place) receives ``rejected_static`` / ``rejected_simulated`` counts.
+    the full timing pipeline; the check is the identical occupancy test
+    the executor would run, so the surviving set — and hence the chosen
+    optimum — is unchanged.  ``stats`` (optional, mutated in place)
+    receives ``rejected_static`` / ``rejected_simulated`` counts (and a
+    ``quarantined`` count when a resilient evaluator gave up on configs).
+
+    ``evaluator`` swaps the measurement backend (default: a plain
+    :class:`~repro.tuning.evaluator.SimTrialEvaluator`; pass a
+    :class:`~repro.tuning.robust.ResilientEvaluator` for retry /
+    quarantine / journal semantics).  When given, it owns the prefilter
+    decision and the ``prefilter`` argument is ignored.
     """
-    executor = DeviceExecutor(device)
+    evaluator = evaluator or SimTrialEvaluator(device, prefilter=prefilter)
     tracer = current_tracer()
     entries: list[TuneEntry] = []
     rejected_static = 0
     rejected_simulated = 0
+    quarantined = 0
     for cfg in configs:
         plan = build(cfg)
         block = plan.block_workload(device, grid_shape)
-        if prefilter and launch_failure(block, device) is not None:
+        if evaluator.statically_rejected(block):
             rejected_static += 1
             if tracer is not None:
                 tracer.instant(
@@ -61,31 +74,35 @@ def evaluate_configs(
             continue
         with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
                         config=cfg.label()) as sp:
-            try:
-                report = executor.run(plan, grid_shape, block=block)
-            except ResourceLimitError:
+            outcome = evaluator.measure(cfg, plan, grid_shape, block)
+            if outcome.status == STATUS_REJECTED_SIMULATED:
                 rejected_simulated += 1
                 if sp is not None:
                     sp.args["rejected"] = "simulated"
                     tracer.metrics.counter("tune.rejected_simulated").inc()
                 continue
+            if outcome.status == STATUS_QUARANTINED:
+                quarantined += 1
+                if sp is not None:
+                    sp.args["quarantined"] = True
+                    sp.args["attempts"] = outcome.attempts
+                    tracer.metrics.counter("tune.quarantined").inc()
+                continue
             if sp is not None:
-                sp.args["mpoints_per_s"] = report.mpoints_per_s
+                sp.args["mpoints_per_s"] = outcome.mpoints_per_s
                 tracer.metrics.counter("tune.trials").inc()
         entries.append(
             TuneEntry(
                 config=cfg,
-                mpoints_per_s=report.mpoints_per_s,
-                info={
-                    "load_efficiency": report.load_efficiency,
-                    "occupancy": report.occupancy.occupancy,
-                    "limiter": report.occupancy.limiter,
-                },
+                mpoints_per_s=outcome.mpoints_per_s,
+                info=dict(outcome.info),
             )
         )
     if stats is not None:
         stats["rejected_static"] = rejected_static
         stats["rejected_simulated"] = rejected_simulated
+        if quarantined:
+            stats["quarantined"] = quarantined
     return entries
 
 
@@ -112,6 +129,7 @@ def exhaustive_tune(
     space: ParameterSpace | None = None,
     *,
     prefilter: bool = True,
+    evaluator: TrialEvaluator | None = None,
 ) -> TuneResult:
     """Run the full feasible space; return the ranked result."""
     configs = feasible_configs(build, device, grid_shape, space)
@@ -121,7 +139,8 @@ def exhaustive_tune(
         method="exhaustive", device=device.name, space_size=len(configs),
     ) as run_span:
         entries = evaluate_configs(
-            build, configs, device, grid_shape, prefilter=prefilter, stats=stats
+            build, configs, device, grid_shape, prefilter=prefilter,
+            stats=stats, evaluator=evaluator,
         )
         if run_span is not None:
             run_span.args.update(evaluated=len(entries), **stats)

@@ -16,14 +16,18 @@ from __future__ import annotations
 import math
 from typing import Callable
 
-from repro.analysis.resources import launch_failure
-from repro.errors import ResourceLimitError, TuningError
+from repro.errors import TuningError
 from repro.gpusim.device import DeviceSpec
-from repro.gpusim.executor import DeviceExecutor
 from repro.kernels.base import KernelPlan
 from repro.kernels.config import BlockConfig
 from repro.obs.schema import CAT_TUNE_RUN, CAT_TUNE_TRIAL
 from repro.obs.tracer import current_tracer, maybe_span
+from repro.tuning.evaluator import (
+    STATUS_QUARANTINED,
+    STATUS_REJECTED_SIMULATED,
+    SimTrialEvaluator,
+    TrialEvaluator,
+)
 from repro.tuning.exhaustive import feasible_configs
 from repro.tuning.perfmodel import ModelInputs, PaperModel
 from repro.tuning.result import TuneEntry, TuneResult
@@ -40,6 +44,7 @@ def model_based_tune(
     space: ParameterSpace | None = None,
     *,
     prefilter: bool = True,
+    evaluator: TrialEvaluator | None = None,
 ) -> TuneResult:
     """Tune by executing only the model's top ``beta`` fraction.
 
@@ -47,7 +52,8 @@ def model_based_tune(
     The shortlist size N is always computed from the *full* feasible
     space; ``prefilter`` only replaces the simulator's launch-failure
     discovery with the equivalent static check, so the measured set and
-    the winner are unchanged.
+    the winner are unchanged.  ``evaluator`` swaps the measurement
+    backend (and then owns the prefilter decision).
     """
     if not 0.0 < beta <= 1.0:
         raise TuningError(f"beta must be in (0, 1], got {beta}")
@@ -70,13 +76,13 @@ def model_based_tune(
         n = max(1, math.ceil(beta * len(configs)))
         shortlist = predictions[:n]
 
-        executor = DeviceExecutor(device)
+        ev = evaluator or SimTrialEvaluator(device, prefilter=prefilter)
         entries: list[TuneEntry] = []
-        stats = {"rejected_static": 0, "rejected_simulated": 0}
+        stats: dict[str, int] = {"rejected_static": 0, "rejected_simulated": 0}
         for cfg, predicted in shortlist:
             plan = build(cfg)
             block = plan.block_workload(device, grid_shape)
-            if prefilter and launch_failure(block, device) is not None:
+            if ev.statically_rejected(block):
                 stats["rejected_static"] += 1
                 if tracer is not None:
                     tracer.instant(
@@ -88,25 +94,32 @@ def model_based_tune(
             with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
                             config=cfg.label(),
                             predicted_mpoints_per_s=predicted) as sp:
-                try:
-                    report = executor.run(plan, grid_shape, block=block)
-                except ResourceLimitError:
+                outcome = ev.measure(cfg, plan, grid_shape, block)
+                if outcome.status == STATUS_REJECTED_SIMULATED:
                     stats["rejected_simulated"] += 1
                     if sp is not None:
                         sp.args["rejected"] = "simulated"
                         tracer.metrics.counter("tune.rejected_simulated").inc()
                     continue
+                if outcome.status == STATUS_QUARANTINED:
+                    stats["quarantined"] = stats.get("quarantined", 0) + 1
+                    if sp is not None:
+                        sp.args["quarantined"] = True
+                        sp.args["attempts"] = outcome.attempts
+                        tracer.metrics.counter("tune.quarantined").inc()
+                    continue
                 if sp is not None:
-                    sp.args["mpoints_per_s"] = report.mpoints_per_s
+                    sp.args["mpoints_per_s"] = outcome.mpoints_per_s
                     tracer.metrics.counter("tune.trials").inc()
             entries.append(
                 TuneEntry(
                     config=cfg,
-                    mpoints_per_s=report.mpoints_per_s,
+                    mpoints_per_s=outcome.mpoints_per_s,
                     predicted=predicted,
                     info={
-                        "load_efficiency": report.load_efficiency,
-                        "occupancy": report.occupancy.occupancy,
+                        k: outcome.info[k]
+                        for k in ("load_efficiency", "occupancy")
+                        if k in outcome.info
                     },
                 )
             )

@@ -1,0 +1,593 @@
+"""Crash-safe, self-healing tuning sessions.
+
+The paper's section VI economy argument is about tuning *time*; on real
+clusters the dominant cost of a long campaign is usually *fragility* —
+hung kernels, ECC events, nodes rebooting mid-sweep, and the re-runs they
+force.  This module makes the reproduction's tuning campaigns survive the
+failure modes :mod:`repro.gpusim.faults` injects:
+
+* **retry with exponential backoff + jitter** — transient faults
+  (launch failures, hangs, throttled or ECC-flagged measurements) are
+  retried up to :attr:`RetryPolicy.max_retries` times per configuration;
+* **per-config quarantine** — a configuration that keeps faulting is
+  recorded as ``quarantined`` and excluded from the ranking instead of
+  poisoning it with a degraded number;
+* **crash-safe journal** — every completed trial is appended to a JSONL
+  journal (flushed and fsynced per record), so a killed campaign resumes
+  with ``repro tune --resume`` without re-running any journaled trial;
+* **graceful degradation** — :class:`RobustTuningSession` walks the tier
+  ladder model → stochastic → exhaustive, falling through when a tier
+  cannot produce a usable winner.
+
+Everything is deterministic: backoff jitter comes from a seeded RNG, the
+fault schedule from :class:`~repro.gpusim.faults.FaultPlan`, so the same
+seed reproduces the same fault sequence, retries and winner, trial for
+trial.  The backoff *sleep* defaults to a no-op — simulated campaigns
+should not spend wall-clock time — but the computed delays are still
+accounted in :attr:`ResilientEvaluator.stats`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import (
+    FaultInjectedError,
+    JournalError,
+    KernelHangError,
+    TuningError,
+)
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.executor import DeviceExecutor
+from repro.kernels.config import BlockConfig
+from repro.tuning.evaluator import (
+    STATUS_QUARANTINED,
+    TRIAL_STATUSES,
+    SimTrialEvaluator,
+    TrialEvaluator,
+    TrialOutcome,
+)
+from repro.tuning.exhaustive import exhaustive_tune
+from repro.tuning.modelbased import model_based_tune
+from repro.tuning.result import TuneResult
+from repro.tuning.stochastic import stochastic_tune
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpusim.faults import FaultPlan
+    from repro.gpusim.workload import BlockWorkload
+    from repro.kernels.base import KernelPlan
+    from repro.tuning.space import ParameterSpace
+
+logger = logging.getLogger("repro.tuning.robust")
+
+#: The graceful-degradation ladder, cheapest tier first.
+DEGRADATION_LADDER: tuple[str, ...] = ("model", "stochastic", "exhaustive")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient-looking trial failures are retried.
+
+    Delays follow ``base * factor**attempt``, each scaled by a
+    deterministic jitter drawn from ``seed`` (so two sessions with the
+    same seed back off identically).  ``sleep`` is invoked with each
+    delay; the default ``None`` means "account the delay but do not
+    block" — right for the simulator, replaceable with ``time.sleep``
+    for wall-clock campaigns.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    sleep: Callable[[float], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise TuningError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise TuningError(
+                "backoff must satisfy base >= 0 and factor >= 1, got "
+                f"base={self.backoff_base_s}, factor={self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise TuningError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_s(self, key: str, attempt: int) -> float:
+        """Deterministic backoff before retry ``attempt`` of trial ``key``."""
+        base = self.backoff_base_s * self.backoff_factor ** attempt
+        # String seeding is process-independent (unlike tuple seeding,
+        # which goes through hash() and PYTHONHASHSEED).
+        rng = random.Random(f"{self.seed}:{key}:{attempt}")
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+# -- the journal -----------------------------------------------------------
+
+
+def _outcome_to_obj(outcome: TrialOutcome) -> dict[str, Any]:
+    return {
+        "config": list(outcome.config.as_tuple()),
+        "status": outcome.status,
+        "mpoints_per_s": outcome.mpoints_per_s,
+        "info": outcome.info,
+        "attempts": outcome.attempts,
+        "faults": list(outcome.faults),
+    }
+
+
+def _outcome_from_obj(obj: dict[str, Any], path: Path, line: int) -> TrialOutcome:
+    try:
+        config = BlockConfig(*(int(v) for v in obj["config"]))
+        status = obj["status"]
+        if status not in TRIAL_STATUSES:
+            raise ValueError(f"unknown trial status {status!r}")
+        return TrialOutcome(
+            config=config,
+            status=status,
+            mpoints_per_s=float(obj.get("mpoints_per_s", 0.0)),
+            info=dict(obj.get("info", {})),
+            attempts=int(obj.get("attempts", 1)),
+            faults=tuple(str(f) for f in obj.get("faults", ())),
+            replayed=True,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise JournalError(f"{path}:{line}: bad journal record: {exc}") from exc
+
+
+class TrialJournal:
+    """Append-only JSONL record of completed trials, keyed by config.
+
+    Line 1 is a header binding the journal to one session key (device,
+    grid, fault plan, ...): resuming against the wrong journal raises
+    :class:`repro.errors.JournalError` instead of silently replaying
+    foreign measurements.  Every subsequent line is one completed
+    :class:`~repro.tuning.evaluator.TrialOutcome`.
+
+    Writes are flushed and fsynced per record; a process killed
+    mid-write leaves at most one torn final line, which :meth:`resume`
+    tolerates (the interrupted trial simply re-runs).
+    """
+
+    VERSION = 1
+    _TOOL = "repro.tuning.robust"
+
+    def __init__(self, path: str | Path, session_key: str) -> None:
+        self.path = Path(path)
+        self.session_key = session_key
+        self._outcomes: dict[BlockConfig, TrialOutcome] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | Path, session_key: str) -> "TrialJournal":
+        """Start a fresh journal (truncating any previous file)."""
+        journal = cls(path, session_key)
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "journal": cls._TOOL,
+            "version": cls.VERSION,
+            "session": session_key,
+        }
+        with open(journal.path, "w") as fh:
+            fh.write(json.dumps(header) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return journal
+
+    @classmethod
+    def resume(cls, path: str | Path, session_key: str) -> "TrialJournal":
+        """Reload a journal; raises :class:`JournalError` when unusable."""
+        path = Path(path)
+        if not path.exists():
+            raise JournalError(f"{path}: resume journal does not exist")
+        try:
+            lines = path.read_text().splitlines()
+        except OSError as exc:
+            raise JournalError(f"{path}: cannot read journal: {exc}") from exc
+        if not lines:
+            raise JournalError(f"{path}: journal is empty (no header)")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"{path}:1: unreadable header: {exc}") from exc
+        if (
+            not isinstance(header, dict)
+            or header.get("journal") != cls._TOOL
+            or header.get("version") != cls.VERSION
+        ):
+            raise JournalError(
+                f"{path}:1: not a {cls._TOOL} v{cls.VERSION} journal header: "
+                f"{header!r}"
+            )
+        if header.get("session") != session_key:
+            raise JournalError(
+                f"{path}: journal belongs to session "
+                f"{header.get('session')!r}, not {session_key!r}"
+            )
+        journal = cls(path, session_key)
+        for i, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if i == len(lines):
+                    # Torn final line: the process died mid-append.  The
+                    # trial it described re-runs; everything before it is
+                    # intact (each record was fsynced before the next).
+                    logger.warning(
+                        "%s:%d: dropping torn final journal line (%s)",
+                        path, i, exc,
+                    )
+                    break
+                raise JournalError(
+                    f"{path}:{i}: corrupt journal record: {exc}"
+                ) from exc
+            outcome = _outcome_from_obj(obj, path, i)
+            journal._outcomes[outcome.config] = outcome
+        return journal
+
+    # -- record/replay -----------------------------------------------------
+
+    def get(self, config: BlockConfig) -> TrialOutcome | None:
+        """The journaled outcome for ``config``, marked ``replayed``."""
+        return self._outcomes.get(config)
+
+    def record(self, outcome: TrialOutcome) -> None:
+        """Append one completed trial (flushed and fsynced)."""
+        self._outcomes[outcome.config] = outcome
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(_outcome_to_obj(outcome)) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+
+# -- the resilient evaluator -----------------------------------------------
+
+#: Fault kinds that are deterministic re-runs of the same number — a
+#: retry cannot help, so the config goes straight to quarantine.
+_NON_RETRYABLE_KINDS = frozenset({"watchdog"})
+
+
+class ResilientEvaluator:
+    """Retry / quarantine / journal wrapper around a plain evaluator.
+
+    Drop-in :class:`~repro.tuning.evaluator.TrialEvaluator`: the tuners
+    cannot tell they are talking to it, which is the whole point — the
+    search logic stays fault-oblivious while every measurement gains
+
+    1. journal replay (a config already journaled never re-runs),
+    2. retries with deterministic backoff for transient faults
+       (launch failures, hangs, throttle/ECC-flagged measurements),
+    3. quarantine once retries are exhausted (or immediately for
+       deterministic failures like a genuine watchdog overrun).
+
+    ``stats`` accumulates across tiers: ``live_trials`` (measurements
+    actually executed), ``replayed``, ``retries``, ``quarantined_configs``
+    and ``backoff_s`` (total computed delay, slept or not).
+    """
+
+    def __init__(
+        self,
+        inner: TrialEvaluator,
+        *,
+        policy: RetryPolicy | None = None,
+        journal: TrialJournal | None = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.journal = journal
+        self.stats: dict[str, Any] = {
+            "live_trials": 0,
+            "replayed": 0,
+            "retries": 0,
+            "quarantined_configs": 0,
+            "backoff_s": 0.0,
+        }
+
+    def statically_rejected(self, block: "BlockWorkload") -> bool:
+        return self.inner.statically_rejected(block)
+
+    def _backoff(self, key: str, attempt: int) -> None:
+        delay = self.policy.delay_s(key, attempt)
+        self.stats["backoff_s"] += delay
+        if self.policy.sleep is not None:
+            self.policy.sleep(delay)
+
+    def measure(
+        self,
+        cfg: BlockConfig,
+        plan: "KernelPlan",
+        grid_shape: tuple[int, int, int],
+        block: "BlockWorkload",
+    ) -> TrialOutcome:
+        if self.journal is not None:
+            replayed = self.journal.get(cfg)
+            if replayed is not None:
+                self.stats["replayed"] += 1
+                return replayed
+
+        key = cfg.label()
+        faults_seen: list[str] = []
+        degraded: TrialOutcome | None = None
+        attempts = 0
+        while attempts <= self.policy.max_retries:
+            if attempts:
+                self.stats["retries"] += 1
+                self._backoff(key, attempts - 1)
+            attempts += 1
+            try:
+                outcome = self.inner.measure(cfg, plan, grid_shape, block)
+            except (FaultInjectedError, KernelHangError) as exc:
+                kind = getattr(exc, "kind", "unknown")
+                faults_seen.append(kind)
+                self.stats["live_trials"] += 1
+                if kind in _NON_RETRYABLE_KINDS:
+                    logger.warning(
+                        "%s: non-retryable %s fault, quarantining", key, kind
+                    )
+                    break
+                logger.info(
+                    "%s: attempt %d faulted (%s), %s", key, attempts, kind,
+                    "retrying" if attempts <= self.policy.max_retries
+                    else "quarantining",
+                )
+                continue
+            self.stats["live_trials"] += 1
+            if not outcome.measured or not outcome.faults:
+                # Clean measurement, or a deterministic rejection the
+                # simulator would repeat identically: final either way.
+                final = TrialOutcome(
+                    config=outcome.config,
+                    status=outcome.status,
+                    mpoints_per_s=outcome.mpoints_per_s,
+                    info=outcome.info,
+                    attempts=attempts,
+                    faults=outcome.faults,
+                )
+                return self._finish(final)
+            # Completed but fault-flagged (throttle/ECC): the number is
+            # suspect.  Keep it as a last resort and retry for clean.
+            faults_seen.extend(outcome.faults)
+            degraded = outcome
+            logger.info(
+                "%s: attempt %d returned a fault-flagged measurement (%s)",
+                key, attempts, ",".join(outcome.faults),
+            )
+
+        if degraded is not None:
+            final = TrialOutcome(
+                config=degraded.config,
+                status=degraded.status,
+                mpoints_per_s=degraded.mpoints_per_s,
+                info=degraded.info,
+                attempts=attempts,
+                faults=tuple(faults_seen),
+            )
+            return self._finish(final)
+        self.stats["quarantined_configs"] += 1
+        final = TrialOutcome(
+            config=cfg,
+            status=STATUS_QUARANTINED,
+            attempts=attempts,
+            faults=tuple(faults_seen),
+        )
+        return self._finish(final)
+
+    def _finish(self, outcome: TrialOutcome) -> TrialOutcome:
+        if self.journal is not None:
+            self.journal.record(outcome)
+        return outcome
+
+
+# -- the session -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """What a resilient tuning session produced."""
+
+    result: TuneResult
+    method: str                       #: the tier that produced the winner
+    degraded_from: tuple[str, ...]    #: tiers that failed before it
+    tier_errors: dict[str, str] = field(default_factory=dict)
+    stats: dict[str, Any] = field(default_factory=dict)
+    journal_path: str | None = None
+
+    def summary(self) -> str:
+        line = self.result.summary()
+        if self.degraded_from:
+            line += f" [degraded from {' -> '.join(self.degraded_from)}]"
+        replayed = self.stats.get("replayed", 0)
+        if replayed:
+            line += f" [{replayed} trial(s) replayed from journal]"
+        return line
+
+
+class RobustTuningSession:
+    """One crash-safe tuning campaign over the degradation ladder.
+
+    Parameters
+    ----------
+    device:
+        Device spec or registry name.
+    grid_shape:
+        The sweep volume trials are priced on.
+    faults:
+        Optional :class:`~repro.gpusim.faults.FaultPlan` driving the
+        executor every trial runs on (``None``: clean campaign).
+    policy:
+        Retry/backoff/quarantine policy (default :class:`RetryPolicy`).
+    journal_path:
+        Where to persist completed trials.  ``None`` disables
+        persistence (the session is still resilient, just not
+        resumable).
+    resume:
+        Reload ``journal_path`` and replay its trials instead of
+        re-running them.  Raises :class:`repro.errors.JournalError` when
+        the file is missing, unreadable, or belongs to a different
+        session key.
+    session_key:
+        Identity the journal is bound to; defaults to
+        ``device:grid[:faults]`` and should be extended by callers that
+        vary more than that (the CLI prepends family/order/dtype).
+    prefilter / watchdog_cycles:
+        Forwarded to the underlying executor/evaluator.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | str,
+        grid_shape: tuple[int, int, int],
+        *,
+        faults: "FaultPlan | None" = None,
+        policy: RetryPolicy | None = None,
+        journal_path: str | Path | None = None,
+        resume: bool = False,
+        session_key: str | None = None,
+        prefilter: bool = True,
+        watchdog_cycles: float | None = None,
+    ) -> None:
+        self.device = get_device(device) if isinstance(device, str) else device
+        self.grid_shape = grid_shape
+        self.faults = faults
+        if session_key is None:
+            session_key = self.default_session_key(
+                self.device, grid_shape, faults
+            )
+        self.session_key = session_key
+        self.journal: TrialJournal | None = None
+        if journal_path is not None:
+            if resume:
+                self.journal = TrialJournal.resume(journal_path, session_key)
+                logger.info(
+                    "resumed journal %s with %d completed trial(s)",
+                    journal_path, len(self.journal),
+                )
+            else:
+                self.journal = TrialJournal.create(journal_path, session_key)
+        elif resume:
+            raise JournalError("resume requested without a journal path")
+        executor = DeviceExecutor(
+            self.device, faults=faults, watchdog_cycles=watchdog_cycles
+        )
+        self.evaluator = ResilientEvaluator(
+            SimTrialEvaluator(self.device, prefilter=prefilter, executor=executor),
+            policy=policy,
+            journal=self.journal,
+        )
+
+    @staticmethod
+    def default_session_key(
+        device: DeviceSpec,
+        grid_shape: tuple[int, int, int],
+        faults: "FaultPlan | None" = None,
+    ) -> str:
+        key = f"{device.name}:{'x'.join(str(g) for g in grid_shape)}"
+        if faults is not None:
+            key += f":{faults.describe()}"
+        return key
+
+    def _run_tier(
+        self,
+        tier: str,
+        build: Callable[[BlockConfig], "KernelPlan"],
+        *,
+        space: "ParameterSpace | None",
+        beta: float,
+        budget: int,
+        seed: int,
+    ) -> TuneResult:
+        if tier == "model":
+            return model_based_tune(
+                build, self.device, self.grid_shape, beta=beta, space=space,
+                evaluator=self.evaluator,
+            )
+        if tier == "stochastic":
+            return stochastic_tune(
+                build, self.device, self.grid_shape, budget=budget, seed=seed,
+                space=space, evaluator=self.evaluator,
+            )
+        if tier == "exhaustive":
+            return exhaustive_tune(
+                build, self.device, self.grid_shape, space,
+                evaluator=self.evaluator,
+            )
+        raise TuningError(f"unknown tuning tier {tier!r}")
+
+    def run(
+        self,
+        build: Callable[[BlockConfig], "KernelPlan"],
+        *,
+        method: str = "auto",
+        space: "ParameterSpace | None" = None,
+        beta: float = 0.05,
+        budget: int = 30,
+        seed: int = 0,
+    ) -> SessionResult:
+        """Tune ``build``'s family, degrading across tiers as needed.
+
+        ``method="auto"`` walks the full ladder
+        (:data:`DEGRADATION_LADDER`); naming a single tier restricts the
+        session to it (still resilient, no fallback).  A tier *fails*
+        when it raises :class:`~repro.errors.TuningError` or when its
+        best measured rate is not positive (every trial quarantined or
+        rejected) — either way the next tier starts with the journal's
+        accumulated knowledge, so nothing completed is re-run.
+        """
+        tiers = DEGRADATION_LADDER if method == "auto" else (method,)
+        if any(t not in DEGRADATION_LADDER for t in tiers):
+            raise TuningError(
+                f"unknown tuning method {method!r}; expected one of "
+                f"{DEGRADATION_LADDER + ('auto',)}"
+            )
+        failed: list[str] = []
+        errors: dict[str, str] = {}
+        for tier in tiers:
+            try:
+                result = self._run_tier(
+                    tier, build, space=space, beta=beta, budget=budget,
+                    seed=seed,
+                )
+            except TuningError as exc:
+                failed.append(tier)
+                errors[tier] = str(exc)
+                logger.warning("tier %r failed: %s", tier, exc)
+                continue
+            if result.best_mpoints <= 0.0:
+                failed.append(tier)
+                errors[tier] = (
+                    "no usable measurement (best rate "
+                    f"{result.best_mpoints:g} MPoint/s)"
+                )
+                logger.warning(
+                    "tier %r produced no usable measurement, degrading", tier
+                )
+                continue
+            return SessionResult(
+                result=result,
+                method=tier,
+                degraded_from=tuple(failed),
+                tier_errors=errors,
+                stats=dict(self.evaluator.stats),
+                journal_path=(
+                    str(self.journal.path) if self.journal is not None else None
+                ),
+            )
+        detail = "; ".join(f"{t}: {errors[t]}" for t in failed)
+        raise TuningError(
+            f"all tuning tiers failed on {self.device.name} "
+            f"({self.evaluator.stats['quarantined_configs']} config(s) "
+            f"quarantined): {detail}"
+        )

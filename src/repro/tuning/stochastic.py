@@ -16,14 +16,18 @@ import math
 import random
 from typing import Callable
 
-from repro.analysis.resources import launch_failure
-from repro.errors import ResourceLimitError, TuningError
+from repro.errors import TuningError
 from repro.gpusim.device import DeviceSpec
-from repro.gpusim.executor import DeviceExecutor
 from repro.kernels.base import KernelPlan
 from repro.kernels.config import BlockConfig
 from repro.obs.schema import CAT_TUNE_RUN, CAT_TUNE_TRIAL
 from repro.obs.tracer import current_tracer, maybe_span
+from repro.tuning.evaluator import (
+    STATUS_QUARANTINED,
+    STATUS_REJECTED_SIMULATED,
+    SimTrialEvaluator,
+    TrialEvaluator,
+)
 from repro.tuning.exhaustive import feasible_configs
 from repro.tuning.result import TuneEntry, TuneResult
 from repro.tuning.space import ParameterSpace, default_space
@@ -68,6 +72,7 @@ def stochastic_tune(
     initial_temperature: float = 0.15,
     space: ParameterSpace | None = None,
     prefilter: bool = True,
+    evaluator: TrialEvaluator | None = None,
 ) -> TuneResult:
     """Simulated-annealing search executing at most ``budget`` configs.
 
@@ -78,7 +83,10 @@ def stochastic_tune(
     ``prefilter`` short-circuits unlaunchable configurations through the
     static resource check; they still score 0.0 and still spend budget
     (exactly like the simulator's launch failure), so the walk — and the
-    winner — is bit-identical with the filter on or off.
+    winner — is bit-identical with the filter on or off.  ``evaluator``
+    swaps the measurement backend (and then owns the prefilter decision);
+    quarantined configurations also score 0.0 and spend budget, keeping
+    the walk itself deterministic under fault storms.
     """
     if budget < 1:
         raise TuningError(f"budget must be >= 1, got {budget}")
@@ -86,7 +94,7 @@ def stochastic_tune(
     configs = feasible_configs(build, device, grid_shape, space)
     feas = set(configs)
     rng = random.Random(seed)
-    executor = DeviceExecutor(device)
+    evaluator = evaluator or SimTrialEvaluator(device, prefilter=prefilter)
 
     measured: dict[BlockConfig, float] = {}
     stats = {"rejected_static": 0, "rejected_simulated": 0}
@@ -102,24 +110,29 @@ def stochastic_tune(
         block = plan.block_workload(device, grid_shape)
         with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
                         config=cfg.label()) as sp:
-            if prefilter and launch_failure(block, device) is not None:
+            if evaluator.statically_rejected(block):
                 stats["rejected_static"] += 1
                 rate = 0.0
                 if sp is not None:
                     sp.args["rejected"] = "static"
                     tracer.metrics.counter("tune.rejected_static").inc()
             else:
-                try:
-                    rate = executor.run(plan, grid_shape, block=block).mpoints_per_s
-                    if sp is not None:
-                        sp.args["mpoints_per_s"] = rate
-                        tracer.metrics.counter("tune.trials").inc()
-                except ResourceLimitError:
+                outcome = evaluator.measure(cfg, plan, grid_shape, block)
+                rate = outcome.mpoints_per_s if outcome.measured else 0.0
+                if outcome.status == STATUS_REJECTED_SIMULATED:
                     stats["rejected_simulated"] += 1
-                    rate = 0.0
                     if sp is not None:
                         sp.args["rejected"] = "simulated"
                         tracer.metrics.counter("tune.rejected_simulated").inc()
+                elif outcome.status == STATUS_QUARANTINED:
+                    stats["quarantined"] = stats.get("quarantined", 0) + 1
+                    if sp is not None:
+                        sp.args["quarantined"] = True
+                        sp.args["attempts"] = outcome.attempts
+                        tracer.metrics.counter("tune.quarantined").inc()
+                elif sp is not None:
+                    sp.args["mpoints_per_s"] = rate
+                    tracer.metrics.counter("tune.trials").inc()
         measured[cfg] = rate
         return rate
 

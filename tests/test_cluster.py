@@ -140,3 +140,53 @@ class TestCostModel:
         sim = MultiGpuStencil(plan_builder(order=8), "gtx580")
         with pytest.raises(ConfigurationError):
             sim.step_cost((64, 64, 16), 8)  # slabs thinner than radius 4
+
+
+class TestHaloValidation:
+    """Ghost-plane integrity guard against corrupted transfers."""
+
+    def make_slabs(self, rng, parts=3, radius=2):
+        slabs = split_grid(rng.random((18, 4, 4)), parts, radius)
+        exchange_halos(slabs)
+        return slabs
+
+    def test_clean_exchange_validates(self, rng):
+        from repro.cluster import validate_halos
+
+        slabs = self.make_slabs(rng)
+        validate_halos(slabs)  # no raise
+        assert exchange_halos(slabs, validate=True) > 0
+
+    def test_corrupted_ghost_detected(self, rng):
+        from repro.cluster import validate_halos
+        from repro.errors import HaloExchangeError
+
+        slabs = self.make_slabs(rng)
+        slabs[1].data[0, 2, 2] += 1.0  # lower ghost of the middle slab
+        with pytest.raises(HaloExchangeError, match="slab 1: lower ghost"):
+            validate_halos(slabs)
+
+    def test_non_finite_ghost_detected(self, rng):
+        from repro.cluster import validate_halos
+        from repro.errors import HaloExchangeError
+
+        slabs = self.make_slabs(rng)
+        slabs[0].data[-1, 0, 0] = np.nan  # upper ghost of the first slab
+        with pytest.raises(HaloExchangeError, match="slab 0: non-finite"):
+            validate_halos(slabs)
+
+    def test_fault_injected_exchange_caught(self, rng):
+        from repro.errors import HaloExchangeError
+        from repro.gpusim.faults import FaultPlan
+
+        slabs = self.make_slabs(rng)
+        plan = FaultPlan(seed=1, ecc_rate=1.0, ecc_mode="nan")
+        with pytest.raises(HaloExchangeError):
+            exchange_halos(slabs, faults=plan, validate=True)
+
+    def test_run_steps_with_validation_stays_exact(self, rng):
+        grid = rng.random((16, 8, 8)).astype(np.float32)
+        stencil = MultiGpuStencil(plan_builder(), "gtx580")
+        out = stencil.run_steps(grid, gpus=3, steps=2, validate=True)
+        ref = iterate_symmetric(symmetric(2), grid, steps=2)
+        np.testing.assert_allclose(out, ref, rtol=1e-4)

@@ -235,3 +235,50 @@ class TestRecordDiffSemantics:
         delta = CounterDelta("local_spill_bytes", 0.0, 128.0)
         assert delta.rel == 128.0
         assert "->" in delta.render()
+
+
+class TestFaultedRecords:
+    """v3 ``faulted`` flag: degraded measurements never diff as regressions."""
+
+    def _mixed_baseline(self, tmp_path: Path) -> Path:
+        from repro.gpusim.device import get_device
+        from repro.gpusim.executor import DeviceExecutor
+        from repro.gpusim.faults import FaultPlan
+
+        coll = TelemetryCollector()
+        plan = make_kernel("inplane_fullslice", symmetric(4), (32, 4, 1, 2))
+        clean = simulate(plan, "gtx580", (128, 128, 64))
+        coll.add_report(clean, order=4, source="a-clean")
+        executor = DeviceExecutor(
+            get_device("gtx580"), faults=FaultPlan(throttle_rate=1.0)
+        )
+        throttled = executor.run(plan, (128, 128, 64))
+        coll.add_report(throttled, order=4, source="b-storm")
+        return coll.write(tmp_path / "mixed.json")
+
+    def test_faulted_flag_roundtrips(self, tmp_path):
+        path = self._mixed_baseline(tmp_path)
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == PROFILE_SCHEMA_VERSION == 3
+        records = load_profile(path)
+        assert [r.faulted for r in records] == [False, True]
+
+    def test_old_versions_default_to_unfaulted(self):
+        # The repo baseline predates the flag; every record loads clean.
+        assert all(not r.faulted for r in load_profile(BASELINE))
+
+    def test_diff_skips_faulted_records(self, tmp_path):
+        path = self._mixed_baseline(tmp_path)
+        report = diff_baseline(path)
+        # The throttled record resimulates slower than the current tree
+        # runs it, but it is skipped, not reported as a regression.
+        assert report.skipped == 1
+        assert report.diffs == () and report.errors == ()
+        assert report.exit_code() == 0
+        assert "1 faulted skipped" in report.render()
+        assert report.to_json_obj()["skipped_faulted"] == 1
+
+    def test_clean_reports_mention_no_skips(self, tmp_path):
+        report = diff_baseline(_v2_baseline(tmp_path))
+        assert report.skipped == 0
+        assert "faulted skipped" not in report.render()

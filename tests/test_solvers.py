@@ -76,3 +76,65 @@ class TestSolver:
     def test_spectral_bound_validation(self):
         with pytest.raises(ConfigurationError):
             jacobi_spectral_bound((2, 8, 8))
+
+
+class TestSolverGuards:
+    """Divergence / non-finite detection under injected memory faults."""
+
+    def test_clean_statuses(self):
+        from repro.solvers import STATUS_CONVERGED, STATUS_MAX_ITERATIONS
+
+        u0, f, _ = manufactured()
+        good = JacobiPoissonSolver().solve(f, u0, tol=1e-6, max_iterations=4000)
+        assert good.status == STATUS_CONVERGED
+        assert good.faults == 0 and not good.diverged
+        capped = JacobiPoissonSolver().solve(f, u0, tol=1e-30, max_iterations=30)
+        assert capped.status == STATUS_MAX_ITERATIONS
+        assert not capped.diverged
+
+    def test_nan_injection_detected_as_non_finite(self):
+        from repro.gpusim.faults import FaultPlan
+        from repro.solvers import STATUS_NON_FINITE
+
+        u0, f, _ = manufactured()
+        plan = FaultPlan(seed=1, ecc_rate=1.0, ecc_mode="nan")
+        result = JacobiPoissonSolver().solve(
+            f, u0, tol=1e-6, max_iterations=200, check_every=10, faults=plan
+        )
+        assert result.status == STATUS_NON_FINITE
+        assert result.diverged and not result.converged
+        assert result.iterations == 10  # caught at the first check
+        assert result.faults == 10  # one corruption per sweep
+
+    def test_bit_flips_detected_as_divergence(self):
+        from repro.gpusim.faults import FaultPlan
+        from repro.solvers import STATUS_DIVERGED
+
+        u0, f, _ = manufactured()
+        plan = FaultPlan(seed=0, ecc_rate=0.3, ecc_mode="flip")
+        result = JacobiPoissonSolver().solve(
+            f, u0, tol=1e-6, max_iterations=200, check_every=5,
+            faults=plan, divergence_factor=50.0,
+        )
+        assert result.status == STATUS_DIVERGED
+        assert result.diverged
+        assert result.faults > 0
+        # Stopped early instead of burning the whole sweep budget.
+        assert result.iterations < 200
+
+    def test_fault_run_is_reproducible(self):
+        from repro.gpusim.faults import FaultPlan
+
+        u0, f, _ = manufactured()
+
+        def run():
+            plan = FaultPlan(seed=4, ecc_rate=0.3, ecc_mode="flip")
+            return JacobiPoissonSolver().solve(
+                f, u0, tol=1e-6, max_iterations=200, check_every=5,
+                faults=plan, divergence_factor=50.0,
+            )
+
+        a, b = run(), run()
+        assert a.status == b.status
+        assert a.iterations == b.iterations
+        assert a.residual_history == b.residual_history

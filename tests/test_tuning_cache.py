@@ -67,3 +67,38 @@ class TestCache:
         cache.put(better, "f", 2, "sp", "gtx580", (8, 8, 8))
         got = cache.get("f", 2, "sp", "gtx580", (8, 8, 8))
         assert got.best_mpoints == 9999.0
+
+
+class TestCacheRobustness:
+    def test_put_is_atomic_no_temp_residue(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = TuningCache(path)
+        cache.put(make_result(), "f", 2, "sp", "gtx580", (8, 8, 8))
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+
+    def test_interleaved_writers_never_leave_partial_json(self, tmp_path):
+        # Two handles on the same file, alternating puts: after every
+        # single put the on-disk document parses (os.replace is atomic),
+        # and each writer's last write is a complete document.
+        path = tmp_path / "cache.json"
+        a, b = TuningCache(path), TuningCache(path)
+        for i, cache in enumerate([a, b, a, b, a]):
+            cache.put(make_result(), f"fam{i}", 2, "sp", "gtx580", (8, 8, 8))
+            json.loads(path.read_text())
+        final = TuningCache(path)
+        assert final.get("fam4", 2, "sp", "gtx580", (8, 8, 8)) is not None
+
+    def test_corrupt_cache_warns_with_path(self, tmp_path, caplog):
+        path = tmp_path / "cache.json"
+        path.write_text("{torn")
+        with caplog.at_level("WARNING", logger="repro.tuning.cache"):
+            TuningCache(path)
+        assert any(str(path) in r.getMessage() for r in caplog.records)
+        assert any("regenerated" in r.getMessage() for r in caplog.records)
+
+    def test_stale_temp_file_does_not_break_load(self, tmp_path):
+        path = tmp_path / "cache.json"
+        TuningCache(path).put(make_result(), "f", 2, "sp", "gtx580", (8, 8, 8))
+        (tmp_path / "cache.jsonabc123.tmp").write_text("{killed mid-")
+        reloaded = TuningCache(path)
+        assert reloaded.get("f", 2, "sp", "gtx580", (8, 8, 8)) is not None

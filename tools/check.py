@@ -14,7 +14,11 @@ Runs, in order:
    recorded ``BENCH_profile.json`` trajectory: every record resimulated,
    exact tolerance — any slowdown fails the gate with the responsible
    counter named)
-5. the tier-1 test suite (``pytest tests/``)
+5. the fault-injection smoke test (``repro tune`` under a seeded fault
+   storm with a journal, then a ``--resume`` of the same journal: both
+   must exit 0, exercising retry, quarantine, and crash-safe replay
+   end to end)
+6. the tier-1 test suite (``pytest tests/``)
 
 Static tools that are not installed are reported as *skipped* and do not
 fail the gate — the container bakes in the runtime toolchain but not
@@ -49,6 +53,34 @@ def run(label: str, cmd: list[str], *, required: bool, env: dict | None = None) 
     return status
 
 
+def fault_smoke(env: dict) -> str:
+    """Tune under a seeded fault storm, then resume the journal."""
+    import tempfile
+
+    label = "fault-smoke"
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = str(Path(tmp) / "smoke.journal")
+        base = [
+            sys.executable, "-m", "repro.cli", "-q", "tune",
+            "--kernel", "inplane_fullslice", "--order", "2",
+            "--device", "gtx580", "--grid", "64,64,32",
+            "--method", "auto",
+            "--faults", "seed=7,launch=0.1,hang=0.02,throttle=0.05",
+            "--journal", journal,
+        ]
+        for phase, cmd in (("storm", base), ("resume", base + ["--resume"])):
+            print(f"[check] {label}/{phase}: {' '.join(cmd)}")
+            proc = subprocess.run(cmd, cwd=REPO, env=env, capture_output=True)
+            if proc.returncode != 0:
+                sys.stdout.buffer.write(proc.stdout)
+                sys.stderr.buffer.write(proc.stderr)
+                print(f"[check] {label}: FAILED ({phase} exited "
+                      f"{proc.returncode})")
+                return "FAILED"
+    print(f"[check] {label}: ok")
+    return "ok"
+
+
 def main() -> int:
     import os
 
@@ -77,6 +109,7 @@ def main() -> int:
             required=True,
             env=env,
         ),
+        "fault-smoke": fault_smoke(env),
         "pytest": run(
             "pytest",
             [sys.executable, "-m", "pytest", "tests", "-q"],
