@@ -1,0 +1,78 @@
+"""Micro-benchmark: exhaustive-sweep wall-clock at ``--jobs 1`` vs
+``--jobs 4``.
+
+The sweep is embarrassingly parallel (``docs/TUNING.md``), so on a
+machine with four real cores the pooled engine should cut wall-clock by
+at least 2x while returning the bit-identical ranking.  On smaller
+containers the determinism half of the claim is still asserted and the
+speedup half is reported without a hard floor (a 1-core pool cannot
+speed anything up; the gate's byte-identity smoke still runs there).
+"""
+
+import os
+import time
+
+from repro.gpusim.device import get_device
+from repro.kernels.inplane import InPlaneKernel
+from repro.stencils.spec import symmetric
+from repro.tuning.exhaustive import exhaustive_tune
+from repro.tuning.parallel import ParallelEvaluator
+
+GRID = (512, 512, 256)
+DEVICE = "gtx580"
+ORDER = 8
+JOBS = 4
+
+
+def build(cfg):
+    return InPlaneKernel(symmetric(ORDER), cfg)
+
+
+def sweep(jobs):
+    from repro.tuning.exhaustive import feasible_configs
+
+    device = get_device(DEVICE)
+    with ParallelEvaluator(device, jobs=jobs, worker_cap=JOBS) as evaluator:
+        # Fork the pool (and pay its startup) before the clock starts;
+        # the same ``build`` keeps the forked pool warm for the sweep.
+        first = feasible_configs(build, device, GRID)[:1]
+        evaluator.measure_batch(build, first, GRID)
+        start = time.perf_counter()
+        result = exhaustive_tune(build, device, GRID, evaluator=evaluator)
+    return result, time.perf_counter() - start
+
+
+def test_parallel_speedup(benchmark, save_render):
+    serial, t1 = sweep(jobs=1)
+    pooled, t4 = benchmark.pedantic(
+        lambda: sweep(jobs=JOBS), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    # Determinism contract: the ranking is bit-identical at any jobs count.
+    assert pooled.best == serial.best
+    assert pooled.entries == serial.entries
+    assert pooled.info["jobs"] == JOBS  # worker_cap bypasses the core clamp
+
+    speedup = t1 / t4 if t4 > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    if cores >= JOBS:
+        # Four real cores: the pool must at least halve the wall-clock.
+        assert speedup >= 2.0, (
+            f"expected >= 2x at {JOBS} workers on {cores} cores, "
+            f"got {speedup:.2f}x ({t1:.3f}s -> {t4:.3f}s)"
+        )
+
+    lines = [
+        f"parallel micro-bench: {ORDER=} inplane_fullslice {DEVICE} {GRID}",
+        f"  sweep: {len(serial.entries)} measured configs, "
+        f"winner {serial.best_config} @ {serial.best_mpoints:.1f} MPoint/s"
+        " (identical at both job counts)",
+        f"  wall-clock: {t1:.3f}s at jobs=1 -> {t4:.3f}s at jobs={JOBS}"
+        f" ({speedup:.2f}x on {cores} core(s))",
+    ]
+
+    class _R:
+        def render(self):
+            return "\n".join(lines)
+
+    save_render(_R(), "parallel_speedup.txt")

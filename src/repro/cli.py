@@ -171,7 +171,37 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     )
     if not robust:
         with _maybe_tracing(args) as tracer:
-            if args.method == "model":
+            if args.jobs:
+                # Parallel batch engine: the tuners detect the
+                # batch-capable evaluator and hand it the whole config
+                # list; outcomes come back in input order, so the winner
+                # matches --jobs 1 (and the serial path) bit for bit.
+                from repro.tuning.exhaustive import exhaustive_tune
+                from repro.tuning.modelbased import model_based_tune
+                from repro.tuning.parallel import (
+                    FamilyKernelBuilder,
+                    ParallelEvaluator,
+                )
+                from repro.tuning.space import ParameterSpace
+
+                device = get_device(args.device)
+                build = FamilyKernelBuilder(args.kernel, args.order, args.dtype)
+                space = (
+                    ParameterSpace(rx_values=(1,), ry_values=(1,))
+                    if args.no_register_blocking else None
+                )
+                with ParallelEvaluator(device, jobs=args.jobs) as evaluator:
+                    if args.method == "model":
+                        result = model_based_tune(
+                            build, device, grid, beta=args.beta, space=space,
+                            evaluator=evaluator,
+                        )
+                    else:
+                        result = exhaustive_tune(
+                            build, device, grid, space, evaluator=evaluator
+                        )
+                log.info("tuned with %d worker(s)", evaluator.jobs)
+            elif args.method == "model":
                 result = autotune(
                     args.kernel, args.order, args.device,
                     grid_shape=grid, dtype=args.dtype,
@@ -212,6 +242,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         + RobustTuningSession.default_session_key(device, grid, faults)
     )
     retries = 3 if args.retries is None else args.retries
+    session = None
     try:
         session = RobustTuningSession(
             device, grid,
@@ -221,6 +252,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             resume=args.resume,
             session_key=session_key,
             watchdog_cycles=args.watchdog,
+            jobs=args.jobs,
         )
         with _maybe_tracing(args) as tracer:
             sres = session.run(
@@ -233,6 +265,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     except TuningError as exc:
         log.error("tuning failed: %s", exc)
         return EXIT_TUNE_FAILED
+    finally:
+        if session is not None:
+            session.close()
     print(sres.summary())
     _print_tune_entries(sres.result)
     stats = sres.stats
@@ -434,7 +469,9 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
 
     from repro.obs.regress import diff_baseline
 
-    report = diff_baseline(args.baseline, tolerance=args.tolerance)
+    report = diff_baseline(
+        args.baseline, tolerance=args.tolerance, jobs=args.jobs or 1
+    )
     if args.json:
         print(json.dumps(report.to_json_obj(), indent=1))
     else:
@@ -537,6 +574,10 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--trace", metavar="PATH",
                       help="write a Chrome trace of the whole sweep here "
                            "(one tune.trial span per evaluated config)")
+    tune.add_argument("--jobs", type=int, metavar="N",
+                      help="measure trials on N worker processes (clamped "
+                           "to the core count); the winner is bit-identical "
+                           "at any N")
     tune.set_defaults(func=_cmd_tune)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -623,6 +664,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bdiff.add_argument("--json", action="store_true",
                        help="machine-readable diff on stdout")
+    bdiff.add_argument("--jobs", type=int, metavar="N",
+                       help="resimulate records on N worker processes "
+                            "(records are independent; order preserved)")
     bdiff.set_defaults(func=_cmd_bench_diff)
 
     sc = sub.add_parser("scaling", help="multi-GPU slab scaling cost model")

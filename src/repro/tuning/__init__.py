@@ -13,11 +13,21 @@
   by all tuners.
 * :mod:`repro.tuning.robust` — crash-safe, self-healing tuning sessions:
   retries, per-config quarantine, resume journal, graceful degradation.
+* :mod:`repro.tuning.parallel` — the process-pool batch engine behind
+  ``repro tune --jobs N``: deterministic chunked dispatch with
+  per-config fault streams.
 """
 
 from repro.tuning.space import ParameterSpace, default_space
 from repro.tuning.result import TuneEntry, TuneResult
-from repro.tuning.evaluator import SimTrialEvaluator, TrialEvaluator, TrialOutcome
+from repro.tuning.evaluator import (
+    BatchTrialEvaluator,
+    SimTrialEvaluator,
+    TrialEvaluator,
+    TrialOutcome,
+    batch_capable,
+)
+from repro.tuning.parallel import FamilyKernelBuilder, ParallelEvaluator
 from repro.tuning.exhaustive import exhaustive_tune
 from repro.tuning.perfmodel import PaperModel, ModelInputs
 from repro.tuning.modelbased import model_based_tune
@@ -37,8 +47,12 @@ __all__ = [
     "TuneEntry",
     "TuneResult",
     "TrialEvaluator",
+    "BatchTrialEvaluator",
+    "batch_capable",
     "TrialOutcome",
     "SimTrialEvaluator",
+    "ParallelEvaluator",
+    "FamilyKernelBuilder",
     "exhaustive_tune",
     "PaperModel",
     "ModelInputs",

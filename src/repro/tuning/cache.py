@@ -5,6 +5,28 @@ motivation of the paper's section VI); on the simulator it is cheap but
 still worth caching across processes for the benchmark harness and CLI.
 The cache is a plain JSON file keyed by (family, order, dtype, device,
 grid, space signature).
+
+Schema (version 2)::
+
+    {"schema_version": 2, "tool": "repro.tuning.cache",
+     "results": {"<key>": {"best": {...}, "entries": [...],
+                           "evaluated": N, "space_size": M,
+                           "method": "...", "info": {...}}}}
+
+Version-1 files (a bare key -> best-entry mapping, no version field) are
+still readable: each legacy record round-trips as a single-entry result,
+exactly what the v1 writer used to drop it to.
+
+The space component of the key is **derived from the space's value
+tuples** (:meth:`repro.tuning.space.ParameterSpace.signature`), never a
+caller-supplied literal — results tuned over different candidate sets
+cannot collide on one key.
+
+Concurrency: writes hold an exclusive lock file around a
+read-merge-publish cycle — the on-disk document is reloaded under the
+lock and merged per key before the :func:`os.replace` publish, so two
+processes appending different keys both survive (the losing writer no
+longer clobbers the winner's keys with its own stale view).
 """
 
 from __future__ import annotations
@@ -13,12 +35,25 @@ import json
 import logging
 import os
 import tempfile
+from collections.abc import Iterator
+from contextlib import contextmanager
 from pathlib import Path
+from typing import Any
+
+try:  # pragma: no cover - fcntl is always present on the linux targets
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix fallback: unlocked
+    fcntl = None  # type: ignore[assignment]
 
 from repro.kernels.config import BlockConfig
 from repro.tuning.result import TuneEntry, TuneResult
+from repro.tuning.space import default_space
 
 logger = logging.getLogger("repro.tuning.cache")
+
+#: On-disk schema version; bump on incompatible layout changes.
+SCHEMA_VERSION = 2
+_TOOL = "repro.tuning.cache"
 
 
 def _key(
@@ -32,24 +67,101 @@ def _key(
     return f"{family}|{order}|{dtype}|{device}|{'x'.join(map(str, grid))}|{space_sig}"
 
 
+def _resolve_sig(space_sig: str | None) -> str:
+    """Default the space signature to the *derived* default-space one."""
+    return space_sig if space_sig is not None else default_space().signature()
+
+
+def _entry_to_obj(entry: TuneEntry) -> dict[str, Any]:
+    return {
+        "config": list(entry.config.as_tuple()),
+        "mpoints_per_s": entry.mpoints_per_s,
+        "predicted": entry.predicted,
+        "info": entry.info,
+    }
+
+
+def _entry_from_obj(obj: dict[str, Any]) -> TuneEntry:
+    return TuneEntry(
+        config=BlockConfig(*(int(v) for v in obj["config"])),
+        mpoints_per_s=float(obj["mpoints_per_s"]),
+        predicted=obj.get("predicted"),
+        info=dict(obj.get("info", {})),
+    )
+
+
+def _record_from_v1(raw: dict[str, Any]) -> dict[str, Any]:
+    """Upgrade a legacy best-entry-only record to the v2 layout."""
+    best = {
+        "config": raw["config"],
+        "mpoints_per_s": raw["mpoints_per_s"],
+        "predicted": raw.get("predicted"),
+        "info": raw.get("info", {}),
+    }
+    return {
+        "best": best,
+        "entries": [best],
+        "evaluated": raw["evaluated"],
+        "space_size": raw["space_size"],
+        "method": raw["method"],
+        "info": {},
+    }
+
+
 class TuningCache:
-    """JSON-file-backed store of best tuning results."""
+    """JSON-file-backed store of tuning results (every entry, not just
+    the winner)."""
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self._data: dict[str, dict] = {}
-        if self.path.exists():
-            try:
-                self._data = json.loads(self.path.read_text())
-            except (OSError, json.JSONDecodeError) as exc:
-                # A corrupt cache is regenerated, never fatal — but the
-                # drop is loud enough to investigate (a half-written file
-                # here usually means a process died mid-write elsewhere).
-                logger.warning(
-                    "dropping corrupt tuning cache %s (%s); it will be "
-                    "regenerated", self.path, exc,
-                )
-                self._data = {}
+        self._data: dict[str, dict[str, Any]] = self._load()
+
+    def _load(self) -> dict[str, dict[str, Any]]:
+        if not self.path.exists():
+            return {}
+        try:
+            doc = json.loads(self.path.read_text())
+            return self._parse_document(doc)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            # A corrupt cache is regenerated, never fatal — but the
+            # drop is loud enough to investigate (a half-written file
+            # here usually means a process died mid-write elsewhere).
+            logger.warning(
+                "dropping corrupt tuning cache %s (%s); it will be "
+                "regenerated", self.path, exc,
+            )
+            return {}
+
+    @staticmethod
+    def _parse_document(doc: Any) -> dict[str, dict[str, Any]]:
+        if not isinstance(doc, dict):
+            raise ValueError(f"cache document must be an object, got {type(doc).__name__}")
+        if "schema_version" not in doc:
+            # Version-1 layout: a bare key -> best-entry mapping.
+            return {key: _record_from_v1(raw) for key, raw in doc.items()}
+        version = doc["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise ValueError(f"unsupported cache schema version {version!r}")
+        results = doc["results"]
+        if not isinstance(results, dict):
+            raise ValueError("'results' must be an object")
+        return dict(results)
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Exclusive lock around a read-modify-write of the cache file."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-posix: best effort
+            yield
+            return
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
 
     def get(
         self,
@@ -58,24 +170,29 @@ class TuningCache:
         dtype: str,
         device: str,
         grid: tuple[int, int, int],
-        space_sig: str = "default",
+        space_sig: str | None = None,
     ) -> TuneResult | None:
-        """Return the cached result, or None."""
-        raw = self._data.get(_key(family, order, dtype, device, grid, space_sig))
+        """Return the cached result, or None.
+
+        ``space_sig`` is the tuned space's
+        :meth:`~repro.tuning.space.ParameterSpace.signature`; ``None``
+        means the default space (whose signature is *derived* the same
+        way, so a caller passing ``default_space().signature()``
+        explicitly hits the same key).
+        """
+        key = _key(family, order, dtype, device, grid, _resolve_sig(space_sig))
+        raw = self._data.get(key)
         if raw is None:
             return None
-        entry = TuneEntry(
-            config=BlockConfig(*raw["config"]),
-            mpoints_per_s=raw["mpoints_per_s"],
-            predicted=raw.get("predicted"),
-            info=raw.get("info", {}),
-        )
+        entries = tuple(_entry_from_obj(obj) for obj in raw["entries"])
+        best = _entry_from_obj(raw["best"])
         return TuneResult(
-            best=entry,
-            entries=(entry,),
+            best=best,
+            entries=entries,
             evaluated=raw["evaluated"],
             space_size=raw["space_size"],
             method=raw["method"],
+            info=dict(raw.get("info", {})),
         )
 
     def put(
@@ -86,24 +203,46 @@ class TuningCache:
         dtype: str,
         device: str,
         grid: tuple[int, int, int],
-        space_sig: str = "default",
+        space_sig: str | None = None,
     ) -> None:
-        """Store a result's best entry and flush to disk."""
-        self._data[_key(family, order, dtype, device, grid, space_sig)] = {
-            "config": list(result.best.config.as_tuple()),
-            "mpoints_per_s": result.best.mpoints_per_s,
-            "predicted": result.best.predicted,
-            "info": result.best.info,
+        """Store a result — every entry — and flush to disk.
+
+        Concurrent-writer safe: the on-disk document is reloaded and
+        merged per key under an exclusive lock before publishing, so a
+        writer never erases keys another process added since this
+        instance last read the file.
+        """
+        key = _key(family, order, dtype, device, grid, _resolve_sig(space_sig))
+        record = {
+            "best": _entry_to_obj(result.best),
+            "entries": [_entry_to_obj(e) for e in result.entries],
             "evaluated": result.evaluated,
             "space_size": result.space_size,
             "method": result.method,
+            "info": result.info,
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._locked():
+            # Per-key merge: adopt whatever landed on disk since our
+            # last read, then overwrite only the key being written.
+            merged = self._load()
+            merged.update(
+                (k, v) for k, v in self._data.items() if k not in merged
+            )
+            merged[key] = record
+            self._data = merged
+            self._publish()
+
+    def _publish(self) -> None:
         # Atomic publish: write the whole document to a sibling temp file
         # and os.replace() it over the cache, so a reader (or a crash)
         # never sees a half-written JSON — the corruption mode the loader
         # above has to tolerate is thereby limited to external causes.
-        payload = json.dumps(self._data, indent=1, default=str)
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "tool": _TOOL,
+            "results": self._data,
+        }
+        payload = json.dumps(document, indent=1, default=str)
         fd, tmp_name = tempfile.mkstemp(
             dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
         )

@@ -25,7 +25,7 @@ regardless of which evaluator is plugged in.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 from repro.analysis.resources import launch_failure
 from repro.errors import ResourceLimitError
@@ -94,6 +94,45 @@ class TrialEvaluator(Protocol):
     ) -> TrialOutcome:
         """Execute one configuration and classify the result."""
         ...  # pragma: no cover - protocol
+
+
+class BatchTrialEvaluator(TrialEvaluator, Protocol):
+    """A trial evaluator that can also measure whole batches at once.
+
+    :meth:`measure_batch` owns the complete per-trial pipeline — plan
+    construction, the static pre-filter *and* measurement — and returns
+    one :class:`TrialOutcome` per input configuration **in input order**
+    (statically rejected configurations come back as
+    :data:`STATUS_REJECTED_STATIC` outcomes instead of being silently
+    dropped).  Deterministic ordering is the contract that keeps a
+    batched sweep's winner and tie-breaks bit-identical to the serial
+    loop.  ``jobs`` reports the resolved worker count for
+    ``TuneResult.info``.
+    """
+
+    jobs: int
+
+    def measure_batch(
+        self,
+        build: Callable[["BlockConfig"], "KernelPlan"],
+        configs: list[BlockConfig],
+        grid_shape: tuple[int, int, int],
+    ) -> list[TrialOutcome]:
+        """Measure every configuration; outcomes in input order."""
+        ...  # pragma: no cover - protocol
+
+
+def batch_capable(evaluator: TrialEvaluator) -> "BatchTrialEvaluator | None":
+    """The evaluator as a batch evaluator, or ``None`` when it is not one.
+
+    The tuners' feature probe: a plain evaluator keeps the historical
+    one-config-at-a-time loop; a batch-capable one (e.g.
+    :class:`repro.tuning.parallel.ParallelEvaluator`) gets the whole
+    config list in one call.
+    """
+    if hasattr(evaluator, "measure_batch"):
+        return evaluator  # type: ignore[return-value]
+    return None
 
 
 class SimTrialEvaluator:

@@ -19,8 +19,11 @@ from repro.obs.tracer import current_tracer, maybe_span
 from repro.tuning.evaluator import (
     STATUS_QUARANTINED,
     STATUS_REJECTED_SIMULATED,
+    STATUS_REJECTED_STATIC,
     SimTrialEvaluator,
     TrialEvaluator,
+    TrialOutcome,
+    batch_capable,
 )
 from repro.tuning.result import TuneEntry, TuneResult
 from repro.tuning.space import ParameterSpace, default_space
@@ -55,6 +58,13 @@ def evaluate_configs(
     decision and the ``prefilter`` argument is ignored.
     """
     evaluator = evaluator or SimTrialEvaluator(device, prefilter=prefilter)
+    batch = batch_capable(evaluator)
+    if batch is not None:
+        outcomes = batch.measure_batch(build, configs, grid_shape)
+        entries = _collect_outcomes(configs, outcomes, stats)
+        if stats is not None:
+            stats["jobs"] = batch.jobs
+        return entries
     tracer = current_tracer()
     entries: list[TuneEntry] = []
     rejected_static = 0
@@ -75,6 +85,67 @@ def evaluate_configs(
         with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
                         config=cfg.label()) as sp:
             outcome = evaluator.measure(cfg, plan, grid_shape, block)
+            if outcome.status == STATUS_REJECTED_SIMULATED:
+                rejected_simulated += 1
+                if sp is not None:
+                    sp.args["rejected"] = "simulated"
+                    tracer.metrics.counter("tune.rejected_simulated").inc()
+                continue
+            if outcome.status == STATUS_QUARANTINED:
+                quarantined += 1
+                if sp is not None:
+                    sp.args["quarantined"] = True
+                    sp.args["attempts"] = outcome.attempts
+                    tracer.metrics.counter("tune.quarantined").inc()
+                continue
+            if sp is not None:
+                sp.args["mpoints_per_s"] = outcome.mpoints_per_s
+                tracer.metrics.counter("tune.trials").inc()
+        entries.append(
+            TuneEntry(
+                config=cfg,
+                mpoints_per_s=outcome.mpoints_per_s,
+                info=dict(outcome.info),
+            )
+        )
+    if stats is not None:
+        stats["rejected_static"] = rejected_static
+        stats["rejected_simulated"] = rejected_simulated
+        if quarantined:
+            stats["quarantined"] = quarantined
+    return entries
+
+
+def _collect_outcomes(
+    configs: list[BlockConfig],
+    outcomes: list[TrialOutcome],
+    stats: dict[str, Any] | None,
+) -> list[TuneEntry]:
+    """Batch-path bookkeeping: classify pre-measured outcomes.
+
+    Emits the identical instants/spans/metric counters the serial loop
+    emits (trial spans are near-zero here — the measurement already
+    happened in the workers, whose wall-clock lives on the
+    ``tune.worker`` lanes) and tallies the same stats, so the entry list
+    and every counter are independent of which path produced them.
+    """
+    tracer = current_tracer()
+    entries: list[TuneEntry] = []
+    rejected_static = 0
+    rejected_simulated = 0
+    quarantined = 0
+    for cfg, outcome in zip(configs, outcomes):
+        if outcome.status == STATUS_REJECTED_STATIC:
+            rejected_static += 1
+            if tracer is not None:
+                tracer.instant(
+                    cfg.label(), CAT_TUNE_TRIAL,
+                    config=cfg.label(), rejected="static",
+                )
+                tracer.metrics.counter("tune.rejected_static").inc()
+            continue
+        with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
+                        config=cfg.label()) as sp:
             if outcome.status == STATUS_REJECTED_SIMULATED:
                 rejected_simulated += 1
                 if sp is not None:

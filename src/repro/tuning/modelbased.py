@@ -25,8 +25,11 @@ from repro.obs.tracer import current_tracer, maybe_span
 from repro.tuning.evaluator import (
     STATUS_QUARANTINED,
     STATUS_REJECTED_SIMULATED,
+    STATUS_REJECTED_STATIC,
     SimTrialEvaluator,
     TrialEvaluator,
+    TrialOutcome,
+    batch_capable,
 )
 from repro.tuning.exhaustive import feasible_configs
 from repro.tuning.perfmodel import ModelInputs, PaperModel
@@ -66,11 +69,17 @@ def model_based_tune(
         tracer, f"model on {device.name}", CAT_TUNE_RUN,
         method="model", device=device.name, space_size=len(configs), beta=beta,
     ) as run_span:
-        predictions: list[tuple[BlockConfig, float]] = []
-        for cfg in configs:
-            plan = build(cfg)
-            pred = model.predict(ModelInputs.from_plan(plan, device, grid_shape))
-            predictions.append((cfg, pred.mpoints_per_s))
+        # Vectorized scoring pass: predict_batch mirrors predict() op for
+        # op, so the scores — and the shortlist they rank — are
+        # bit-identical to the historical per-config loop.
+        inputs = [
+            ModelInputs.from_plan(build(cfg), device, grid_shape)
+            for cfg in configs
+        ]
+        scores = model.predict_batch(inputs)
+        predictions: list[tuple[BlockConfig, float]] = [
+            (cfg, float(score)) for cfg, score in zip(configs, scores)
+        ]
         predictions.sort(key=lambda item: item[1], reverse=True)
 
         n = max(1, math.ceil(beta * len(configs)))
@@ -79,49 +88,16 @@ def model_based_tune(
         ev = evaluator or SimTrialEvaluator(device, prefilter=prefilter)
         entries: list[TuneEntry] = []
         stats: dict[str, int] = {"rejected_static": 0, "rejected_simulated": 0}
-        for cfg, predicted in shortlist:
-            plan = build(cfg)
-            block = plan.block_workload(device, grid_shape)
-            if ev.statically_rejected(block):
-                stats["rejected_static"] += 1
-                if tracer is not None:
-                    tracer.instant(
-                        cfg.label(), CAT_TUNE_TRIAL, config=cfg.label(),
-                        predicted_mpoints_per_s=predicted, rejected="static",
-                    )
-                    tracer.metrics.counter("tune.rejected_static").inc()
-                continue
-            with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
-                            config=cfg.label(),
-                            predicted_mpoints_per_s=predicted) as sp:
-                outcome = ev.measure(cfg, plan, grid_shape, block)
-                if outcome.status == STATUS_REJECTED_SIMULATED:
-                    stats["rejected_simulated"] += 1
-                    if sp is not None:
-                        sp.args["rejected"] = "simulated"
-                        tracer.metrics.counter("tune.rejected_simulated").inc()
-                    continue
-                if outcome.status == STATUS_QUARANTINED:
-                    stats["quarantined"] = stats.get("quarantined", 0) + 1
-                    if sp is not None:
-                        sp.args["quarantined"] = True
-                        sp.args["attempts"] = outcome.attempts
-                        tracer.metrics.counter("tune.quarantined").inc()
-                    continue
-                if sp is not None:
-                    sp.args["mpoints_per_s"] = outcome.mpoints_per_s
-                    tracer.metrics.counter("tune.trials").inc()
-            entries.append(
-                TuneEntry(
-                    config=cfg,
-                    mpoints_per_s=outcome.mpoints_per_s,
-                    predicted=predicted,
-                    info={
-                        k: outcome.info[k]
-                        for k in ("load_efficiency", "occupancy")
-                        if k in outcome.info
-                    },
-                )
+        batch = batch_capable(ev)
+        if batch is not None:
+            outcomes = batch.measure_batch(
+                build, [cfg for cfg, _ in shortlist], grid_shape
+            )
+            entries = _collect_shortlist(shortlist, outcomes, stats)
+            stats["jobs"] = batch.jobs
+        else:
+            entries = _measure_shortlist_serial(
+                build, shortlist, device, grid_shape, ev, stats
             )
         if run_span is not None:
             run_span.args.update(
@@ -140,4 +116,112 @@ def model_based_tune(
         space_size=len(configs),
         method="model",
         info=stats,
+    )
+
+
+def _measure_shortlist_serial(
+    build: KernelBuilder,
+    shortlist: list[tuple[BlockConfig, float]],
+    device: DeviceSpec,
+    grid_shape: tuple[int, int, int],
+    ev: TrialEvaluator,
+    stats: dict[str, int],
+) -> list[TuneEntry]:
+    """The historical one-config-at-a-time shortlist measurement."""
+    tracer = current_tracer()
+    entries: list[TuneEntry] = []
+    for cfg, predicted in shortlist:
+        plan = build(cfg)
+        block = plan.block_workload(device, grid_shape)
+        if ev.statically_rejected(block):
+            stats["rejected_static"] += 1
+            if tracer is not None:
+                tracer.instant(
+                    cfg.label(), CAT_TUNE_TRIAL, config=cfg.label(),
+                    predicted_mpoints_per_s=predicted, rejected="static",
+                )
+                tracer.metrics.counter("tune.rejected_static").inc()
+            continue
+        with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
+                        config=cfg.label(),
+                        predicted_mpoints_per_s=predicted) as sp:
+            outcome = ev.measure(cfg, plan, grid_shape, block)
+            if outcome.status == STATUS_REJECTED_SIMULATED:
+                stats["rejected_simulated"] += 1
+                if sp is not None:
+                    sp.args["rejected"] = "simulated"
+                    tracer.metrics.counter("tune.rejected_simulated").inc()
+                continue
+            if outcome.status == STATUS_QUARANTINED:
+                stats["quarantined"] = stats.get("quarantined", 0) + 1
+                if sp is not None:
+                    sp.args["quarantined"] = True
+                    sp.args["attempts"] = outcome.attempts
+                    tracer.metrics.counter("tune.quarantined").inc()
+                continue
+            if sp is not None:
+                sp.args["mpoints_per_s"] = outcome.mpoints_per_s
+                tracer.metrics.counter("tune.trials").inc()
+        entries.append(_shortlist_entry(cfg, predicted, outcome))
+    return entries
+
+
+def _collect_shortlist(
+    shortlist: list[tuple[BlockConfig, float]],
+    outcomes: list[TrialOutcome],
+    stats: dict[str, int],
+) -> list[TuneEntry]:
+    """Batch-path bookkeeping over pre-measured shortlist outcomes.
+
+    Same classification, tracing and stats as the serial loop (trial
+    spans are near-zero; worker wall-clock lives on the ``tune.worker``
+    lanes), so entries — and the winner — are path-independent.
+    """
+    tracer = current_tracer()
+    entries: list[TuneEntry] = []
+    for (cfg, predicted), outcome in zip(shortlist, outcomes):
+        if outcome.status == STATUS_REJECTED_STATIC:
+            stats["rejected_static"] += 1
+            if tracer is not None:
+                tracer.instant(
+                    cfg.label(), CAT_TUNE_TRIAL, config=cfg.label(),
+                    predicted_mpoints_per_s=predicted, rejected="static",
+                )
+                tracer.metrics.counter("tune.rejected_static").inc()
+            continue
+        with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
+                        config=cfg.label(),
+                        predicted_mpoints_per_s=predicted) as sp:
+            if outcome.status == STATUS_REJECTED_SIMULATED:
+                stats["rejected_simulated"] += 1
+                if sp is not None:
+                    sp.args["rejected"] = "simulated"
+                    tracer.metrics.counter("tune.rejected_simulated").inc()
+                continue
+            if outcome.status == STATUS_QUARANTINED:
+                stats["quarantined"] = stats.get("quarantined", 0) + 1
+                if sp is not None:
+                    sp.args["quarantined"] = True
+                    sp.args["attempts"] = outcome.attempts
+                    tracer.metrics.counter("tune.quarantined").inc()
+                continue
+            if sp is not None:
+                sp.args["mpoints_per_s"] = outcome.mpoints_per_s
+                tracer.metrics.counter("tune.trials").inc()
+        entries.append(_shortlist_entry(cfg, predicted, outcome))
+    return entries
+
+
+def _shortlist_entry(
+    cfg: BlockConfig, predicted: float, outcome: TrialOutcome
+) -> TuneEntry:
+    return TuneEntry(
+        config=cfg,
+        mpoints_per_s=outcome.mpoints_per_s,
+        predicted=predicted,
+        info={
+            k: outcome.info[k]
+            for k in ("load_efficiency", "occupancy")
+            if k in outcome.info
+        },
     )

@@ -1,0 +1,478 @@
+"""Process-pool parallel tuning engine.
+
+The paper's section VI argument is about tuning *economy*: exhaustive
+search prices every feasible configuration, so anything that divides the
+sweep's wall-clock by the core count changes how large a space is
+affordable.  Trials are mutually independent — each one builds its own
+plan and prices it on its own simulated device — which makes a tuning
+sweep embarrassingly parallel.  This module supplies the engine:
+
+* :class:`ParallelEvaluator` — a drop-in
+  :class:`~repro.tuning.evaluator.TrialEvaluator` that additionally
+  implements the :class:`~repro.tuning.evaluator.BatchTrialEvaluator`
+  protocol: the tuners hand it the whole config list and it dispatches
+  chunks to ``min(jobs, os.cpu_count())`` forked workers;
+* :class:`FamilyKernelBuilder` — a picklable kernel builder (family,
+  order, dtype), so batch jobs survive being shipped across processes
+  even when the pool cannot rely on fork inheritance.
+
+Determinism is the contract everything else rests on:
+
+* outcomes are reassembled **in input order**, so the winner and every
+  tie-break are bit-identical to the serial loop at any ``jobs`` count;
+* every trial draws faults from its **own stream**
+  (``launch:<config-label>``) of a fresh copy of the
+  :class:`~repro.gpusim.faults.FaultPlan`, so the fault schedule a
+  config sees is a pure function of the config — not of which worker
+  happened to run it or how trials interleaved;
+* retry backoff jitter is string-seeded
+  (:meth:`~repro.tuning.robust.RetryPolicy.delay_s`), hence
+  process-independent.
+
+The journal stays consistent under parallel dispatch by serializing it
+through the parent: workers never touch the journal file; the parent
+replays journaled configs before dispatch and appends fresh outcomes in
+input order after the batch returns, so a resumed fault-storm campaign
+produces the identical journal at ``--jobs 1`` and ``--jobs 4``
+(``tests/test_tuning_parallel.py``).
+
+Workers run with tracing force-disabled (a forked worker inherits the
+parent's tracer contextvar, and spans recorded there would die with the
+process); instead each chunk reports its wall-clock interval back and
+the parent re-emits it as a ``tune.worker`` span on a per-worker lane.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import multiprocessing
+import multiprocessing.pool
+import os
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.analysis.resources import launch_failure
+from repro.errors import TuningError
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.executor import DeviceExecutor
+from repro.gpusim.faults import FaultPlan
+from repro.kernels.config import BlockConfig
+from repro.obs.schema import CAT_TUNE_WORKER
+from repro.obs.tracer import current_tracer, disable_tracing_in_process
+from repro.tuning.evaluator import (
+    STATUS_REJECTED_STATIC,
+    SimTrialEvaluator,
+    TrialOutcome,
+)
+from repro.tuning.robust import ResilientEvaluator, RetryPolicy, TrialJournal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpusim.workload import BlockWorkload
+    from repro.kernels.base import KernelPlan
+
+logger = logging.getLogger("repro.tuning.parallel")
+
+#: Environment override for the worker-count clamp (normally
+#: ``os.cpu_count()``).  Lets the CI gate exercise a real multi-process
+#: pool on single-core containers: ``REPRO_JOBS_CAP=2 repro tune --jobs 2``.
+JOBS_CAP_ENV = "REPRO_JOBS_CAP"
+
+
+@dataclass(frozen=True)
+class FamilyKernelBuilder:
+    """A picklable ``BlockConfig -> KernelPlan`` builder.
+
+    The tuners accept any callable, and under the fork start method a
+    closure works fine (workers inherit the parent's memory).  This named
+    builder exists for the paths that *must* cross a pickle boundary —
+    CLI ``--jobs`` runs, and any future spawn-based pool — and for cache
+    keys: two builders are equal iff they build the same family.
+    """
+
+    family: str
+    order: int
+    dtype: str = "sp"
+
+    def __call__(self, cfg: BlockConfig) -> "KernelPlan":
+        from repro.kernels.factory import make_kernel
+        from repro.stencils.spec import symmetric
+
+        return make_kernel(self.family, symmetric(self.order), cfg, self.dtype)
+
+
+def config_fault_stream(cfg: BlockConfig) -> str:
+    """The per-config fault-plan stream a parallel trial draws from."""
+    return f"launch:{cfg.label()}"
+
+
+def _fresh_faults(plan: FaultPlan | None) -> FaultPlan | None:
+    """A copy of ``plan`` with every stream rewound to index 0.
+
+    Worker processes are reused across chunks (and the parent evaluates
+    single trials inline), so the plan's mutable stream counters must not
+    leak between trials: a trial's schedule has to depend only on
+    ``(seed, config, attempt)``, never on which process ran it or what
+    ran there before.
+    """
+    if plan is None:
+        return None
+    return dataclasses.replace(plan, _counters={})
+
+
+_ZERO_STATS: dict[str, Any] = {
+    "live_trials": 0,
+    "replayed": 0,
+    "retries": 0,
+    "quarantined_configs": 0,
+    "backoff_s": 0.0,
+}
+
+
+def _merge_stats(into: dict[str, Any], delta: dict[str, Any]) -> None:
+    for key, value in delta.items():
+        into[key] = into.get(key, 0) + value
+
+
+@dataclass(frozen=True)
+class _TrialSetup:
+    """Everything one trial needs, shippable to a worker process."""
+
+    device: DeviceSpec
+    prefilter: bool
+    faults: FaultPlan | None
+    watchdog_cycles: float | None
+    policy: RetryPolicy
+
+
+def _run_trial(
+    setup: _TrialSetup,
+    build: Callable[[BlockConfig], "KernelPlan"],
+    cfg: BlockConfig,
+    grid_shape: tuple[int, int, int],
+) -> tuple[TrialOutcome, dict[str, Any]]:
+    """The complete single-trial pipeline (runs in parent or worker).
+
+    Builds the plan, applies the static pre-filter, and measures through
+    a fresh journal-free :class:`ResilientEvaluator` whose executor draws
+    faults from the config's own stream — the unit of work both the
+    inline path and the pool path share, which is what makes them
+    interchangeable.
+    """
+    plan = build(cfg)
+    block = plan.block_workload(setup.device, grid_shape)
+    if setup.prefilter and launch_failure(block, setup.device) is not None:
+        return TrialOutcome(config=cfg, status=STATUS_REJECTED_STATIC), {}
+    executor = DeviceExecutor(
+        setup.device,
+        faults=_fresh_faults(setup.faults),
+        watchdog_cycles=setup.watchdog_cycles,
+        fault_stream=config_fault_stream(cfg),
+    )
+    resilient = ResilientEvaluator(
+        SimTrialEvaluator(setup.device, prefilter=False, executor=executor),
+        policy=setup.policy,
+    )
+    outcome = resilient.measure(cfg, plan, grid_shape, block)
+    return outcome, resilient.stats
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Fork-inherited worker state: set in the parent immediately before the
+#: pool forks, read by every chunk task.  ``(setup, build)``.
+_WORKER_STATE: tuple[_TrialSetup, Callable[[BlockConfig], Any]] | None = None
+
+#: One chunk task: ``(grid_shape, [(input_index, config), ...])``.
+_ChunkTask = tuple[tuple[int, int, int], list[tuple[int, BlockConfig]]]
+#: One chunk result: ``(pid, start_perf_counter_s, elapsed_s,
+#: [(input_index, outcome), ...], aggregated_stats)``.
+_ChunkResult = tuple[
+    int, float, float, list[tuple[int, TrialOutcome]], dict[str, Any]
+]
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: no tracing inside workers (see module doc)."""
+    disable_tracing_in_process()
+
+
+def _measure_chunk(task: _ChunkTask) -> _ChunkResult:
+    """Measure one chunk of configs in a worker; outcomes keep their index."""
+    state = _WORKER_STATE
+    if state is None:  # pragma: no cover - would be a pool-wiring bug
+        raise TuningError("parallel worker started without tuning state")
+    setup, build = state
+    start = time.perf_counter()
+    stats = dict(_ZERO_STATS)
+    out: list[tuple[int, TrialOutcome]] = []
+    for idx, cfg in task[1]:
+        outcome, trial_stats = _run_trial(setup, build, cfg, task[0])
+        _merge_stats(stats, trial_stats)
+        out.append((idx, outcome))
+    return os.getpid(), start, time.perf_counter() - start, out, stats
+
+
+# -- the evaluator -----------------------------------------------------------
+
+
+class ParallelEvaluator:
+    """Process-pool trial evaluator (the ``--jobs N`` engine).
+
+    Implements both the plain
+    :class:`~repro.tuning.evaluator.TrialEvaluator` protocol (so the
+    sequential stochastic walk can use it unchanged) and the
+    :class:`~repro.tuning.evaluator.BatchTrialEvaluator` protocol the
+    exhaustive and model-based tuners probe for.
+
+    Parameters
+    ----------
+    device:
+        Device spec or registry name.
+    jobs:
+        Requested worker count; resolved to
+        ``min(jobs, os.cpu_count())`` (override the clamp with
+        ``worker_cap`` or the :data:`REPRO_JOBS_CAP <JOBS_CAP_ENV>`
+        environment variable — the CI gate uses it to get a real
+        2-process pool on 1-core runners).  ``None`` means "one worker
+        per core".  A resolved count of 1 runs every batch inline — same
+        pipeline, no pool.
+    prefilter:
+        Apply the static resource check before measuring (the tuners'
+        historical flag).
+    faults / watchdog_cycles / policy:
+        Fault schedule, per-trial cycle budget and retry policy, exactly
+        as :class:`~repro.tuning.robust.ResilientEvaluator` takes them —
+        every trial runs under its own journal-free resilient wrapper.
+    journal:
+        Optional crash-safe journal.  Owned by the *parent*: replayed
+        before dispatch, appended in input order after collection.
+    chunk_size:
+        Configs per worker task (default: spread the batch about four
+        tasks per worker, so a slow chunk cannot serialize the sweep).
+    worker_cap:
+        Explicit clamp override (tests and benches on small machines).
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | str,
+        *,
+        jobs: int | None = None,
+        prefilter: bool = True,
+        faults: FaultPlan | None = None,
+        watchdog_cycles: float | None = None,
+        policy: RetryPolicy | None = None,
+        journal: TrialJournal | None = None,
+        chunk_size: int | None = None,
+        worker_cap: int | None = None,
+    ) -> None:
+        device = get_device(device) if isinstance(device, str) else device
+        if jobs is not None and jobs < 1:
+            raise TuningError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise TuningError(f"chunk_size must be >= 1, got {chunk_size}")
+        cores = os.cpu_count() or 1
+        if worker_cap is None:
+            env_cap = os.environ.get(JOBS_CAP_ENV)
+            worker_cap = int(env_cap) if env_cap else cores
+        self.jobs = max(1, min(jobs if jobs is not None else cores, worker_cap))
+        self.device = device
+        self.journal = journal
+        self.chunk_size = chunk_size
+        self.setup = _TrialSetup(
+            device=device,
+            prefilter=prefilter,
+            faults=faults,
+            watchdog_cycles=watchdog_cycles,
+            policy=policy or RetryPolicy(),
+        )
+        self.stats: dict[str, Any] = dict(_ZERO_STATS)
+        self.stats["jobs"] = self.jobs
+        self._pool: multiprocessing.pool.Pool | None = None
+        self._pool_build: Callable[[BlockConfig], Any] | None = None
+        self._worker_lanes: dict[int, int] = {}
+
+    # -- TrialEvaluator protocol ------------------------------------------
+
+    def statically_rejected(self, block: "BlockWorkload") -> bool:
+        return (
+            self.setup.prefilter
+            and launch_failure(block, self.device) is not None
+        )
+
+    def measure(
+        self,
+        cfg: BlockConfig,
+        plan: "KernelPlan",
+        grid_shape: tuple[int, int, int],
+        block: "BlockWorkload",
+    ) -> TrialOutcome:
+        """Measure one config inline (the sequential tuners' entry point).
+
+        Runs the identical per-trial pipeline the workers run — same
+        per-config fault stream, same fresh-plan semantics — so a
+        stochastic walk over this evaluator is bit-identical at any
+        ``jobs`` count.
+        """
+        if self.journal is not None:
+            replayed = self.journal.get(cfg)
+            if replayed is not None:
+                self.stats["replayed"] += 1
+                return replayed
+        outcome, trial_stats = _run_trial(
+            self.setup, lambda _cfg: plan, cfg, grid_shape
+        )
+        _merge_stats(self.stats, trial_stats)
+        if self.journal is not None:
+            self.journal.record(outcome)
+        return outcome
+
+    # -- BatchTrialEvaluator protocol -------------------------------------
+
+    def measure_batch(
+        self,
+        build: Callable[[BlockConfig], "KernelPlan"],
+        configs: list[BlockConfig],
+        grid_shape: tuple[int, int, int],
+    ) -> list[TrialOutcome]:
+        """Measure every config; outcomes in input order.
+
+        Journaled configs are replayed without dispatch; the rest are
+        chunked across the pool (or run inline at ``jobs == 1``), and
+        fresh outcomes are journaled by the parent in input order.
+        """
+        outcomes: dict[int, TrialOutcome] = {}
+        pending: list[tuple[int, BlockConfig]] = []
+        for idx, cfg in enumerate(configs):
+            replayed = self.journal.get(cfg) if self.journal is not None else None
+            if replayed is not None:
+                self.stats["replayed"] += 1
+                outcomes[idx] = replayed
+            else:
+                pending.append((idx, cfg))
+
+        if pending:
+            fresh = (
+                self._measure_pending_pooled(build, pending, grid_shape)
+                if self.jobs > 1
+                else self._measure_pending_inline(build, pending, grid_shape)
+            )
+            outcomes.update(fresh)
+            if self.journal is not None:
+                for idx, _cfg in pending:
+                    outcome = outcomes[idx]
+                    if outcome.status != STATUS_REJECTED_STATIC:
+                        self.journal.record(outcome)
+        return [outcomes[i] for i in range(len(configs))]
+
+    # -- execution backends ------------------------------------------------
+
+    def _measure_pending_inline(
+        self,
+        build: Callable[[BlockConfig], "KernelPlan"],
+        pending: list[tuple[int, BlockConfig]],
+        grid_shape: tuple[int, int, int],
+    ) -> dict[int, TrialOutcome]:
+        out: dict[int, TrialOutcome] = {}
+        for idx, cfg in pending:
+            outcome, trial_stats = _run_trial(self.setup, build, cfg, grid_shape)
+            _merge_stats(self.stats, trial_stats)
+            out[idx] = outcome
+        return out
+
+    def _measure_pending_pooled(
+        self,
+        build: Callable[[BlockConfig], "KernelPlan"],
+        pending: list[tuple[int, BlockConfig]],
+        grid_shape: tuple[int, int, int],
+    ) -> dict[int, TrialOutcome]:
+        pool = self._ensure_pool(build)
+        if pool is None:
+            return self._measure_pending_inline(build, pending, grid_shape)
+        size = self.chunk_size or max(
+            1, -(-len(pending) // (self.jobs * 4))
+        )
+        tasks: list[_ChunkTask] = [
+            (grid_shape, pending[i:i + size])
+            for i in range(0, len(pending), size)
+        ]
+        tracer = current_tracer()
+        ref_perf = time.perf_counter()
+        ref_us = tracer.now_us() if tracer is not None else 0.0
+        try:
+            results = pool.map(_measure_chunk, tasks, chunksize=1)
+        except Exception as exc:  # noqa: BLE001 - degrade, don't die
+            logger.warning(
+                "parallel dispatch failed (%s); falling back to inline "
+                "evaluation", exc,
+            )
+            self.close()
+            return self._measure_pending_inline(build, pending, grid_shape)
+
+        out: dict[int, TrialOutcome] = {}
+        for pid, start, elapsed, chunk_out, chunk_stats in results:
+            _merge_stats(self.stats, chunk_stats)
+            for idx, outcome in chunk_out:
+                out[idx] = outcome
+            if tracer is not None:
+                lane = self._worker_lanes.setdefault(
+                    pid, len(self._worker_lanes)
+                )
+                tracer.host_span_at(
+                    f"chunk[{len(chunk_out)}]",
+                    CAT_TUNE_WORKER,
+                    tid=f"worker:{lane}",
+                    begin_us=ref_us + (start - ref_perf) * 1e6,
+                    dur_us=elapsed * 1e6,
+                    configs=len(chunk_out),
+                    pid=pid,
+                )
+        return out
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(
+        self, build: Callable[[BlockConfig], Any]
+    ) -> multiprocessing.pool.Pool | None:
+        """The persistent pool, (re)forked when the builder changes.
+
+        Worker state travels by fork inheritance: the parent publishes
+        ``(setup, build)`` in a module global and forks; every worker
+        reads the snapshot.  That keeps arbitrary (closure) builders
+        working without pickling them.  Returns ``None`` — inline
+        fallback — where fork is unavailable.
+        """
+        if self._pool is not None and self._pool_build is build:
+            return self._pool
+        self.close()
+        global _WORKER_STATE
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platform
+            logger.warning(
+                "fork start method unavailable; tuning batches run inline"
+            )
+            return None
+        _WORKER_STATE = (self.setup, build)
+        try:
+            self._pool = ctx.Pool(self.jobs, initializer=_worker_init)
+        finally:
+            _WORKER_STATE = None
+        self._pool_build = build
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_build = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()

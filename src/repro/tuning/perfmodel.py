@@ -24,7 +24,10 @@ Implementation notes on fidelity to the paper:
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.gpusim.arch import WARP_SIZE
 from repro.gpusim.device import DeviceSpec
@@ -195,3 +198,74 @@ class PaperModel:
     ) -> ModelPrediction:
         """Convenience: derive inputs from a plan and predict."""
         return self.predict(ModelInputs.from_plan(plan, self.device, grid_shape))
+
+    def predict_batch(self, inputs: Sequence[ModelInputs]) -> np.ndarray:
+        """Score many configurations in one NumPy pass (MPoint/s each).
+
+        Vectorized Eqns (6)-(14): every elementwise operation mirrors
+        :meth:`predict` in the identical order, so the returned float64
+        array is **bit-identical** to calling the scalar path per input
+        (pinned by ``tests/test_tuning_parallel.py``) — the model-based
+        tuner's shortlist, and hence its winner, cannot move between the
+        two front-ends.  Unlaunchable configurations (no resident block)
+        score 0.0 exactly as the scalar path does.
+        """
+        if not inputs:
+            return np.zeros(0, dtype=np.float64)
+        dev = self.device
+        as_i64 = lambda attr: np.array(
+            [getattr(m, attr) for m in inputs], dtype=np.int64
+        )
+        lx, ly = as_i64("lx"), as_i64("ly")
+        tx, ty = as_i64("tx"), as_i64("ty")
+        rx, ry = as_i64("rx"), as_i64("ry")
+        k_r, k_s = as_i64("k_r"), as_i64("k_s")
+        ops = np.array([m.ops for m in inputs], dtype=np.float64)
+        bytes_blk = np.array([m.bytes_blk for m in inputs], dtype=np.float64)
+        warp_blk = -((-(tx * ty)) // WARP_SIZE)  # ceil_div, floor-div form
+
+        # Eqn (6): blocks per plane.
+        blks = (lx * ly) / ((tx * rx) * (ty * ry))
+
+        # Eqn (7): resident blocks per SM (elementwise min over limits).
+        act_blks = np.minimum.reduce([
+            dev.registers_per_sm // np.maximum(1, k_r * tx * ty),
+            np.where(
+                k_s > 0,
+                dev.smem_per_sm // np.maximum(k_s, 1),
+                dev.max_blocks_per_sm,
+            ),
+            dev.max_warps_per_sm // warp_blk,
+            np.full_like(warp_blk, dev.max_blocks_per_sm),
+        ])
+        launchable = act_blks >= 1
+        act = np.maximum(act_blks, 1)  # guarded divisor; masked out below
+
+        # Eqn (8)-(9): full waves and the last wave's per-SM blocks.
+        stages = np.ceil(blks / (dev.sm_count * act))
+        rem_blks = np.ceil(
+            (blks - (stages - 1) * act * dev.sm_count) / dev.sm_count
+        )
+        rem_blks = np.maximum(1, rem_blks)
+
+        # Eqn (10)-(11): memory and compute time per block plane.
+        bw_sm = dev.measured_bandwidth_gbs * 1e9 / dev.sm_count
+        t_lat = dev.dram_latency_cycles / dev.clock_hz
+        t_bw = bytes_blk / bw_sm
+        t_c = (ops * rx * ry * warp_blk) / dev.clock_hz
+
+        # Eqns (12)-(13): latency hiding, identical reading to predict().
+        def f(arg: np.ndarray, resident: np.ndarray) -> np.ndarray:
+            occ = np.minimum(1.0, resident * warp_blk / dev.max_warps_per_sm)
+            return 1.0 + (arg - 1.0) * (1.0 - occ)
+
+        def stage_time(blocks: np.ndarray) -> np.ndarray:
+            return blocks * t_bw + f(blocks, blocks) * t_lat + blocks * t_c
+
+        t_s = stage_time(act)
+        t_l = stage_time(rem_blks)
+
+        # Eqn (14): points per plane over time per plane.
+        per_plane_time = t_s * (stages - 1) + t_l
+        mpoints = (lx * ly) / per_plane_time / 1e6
+        return np.where(launchable, mpoints, 0.0)

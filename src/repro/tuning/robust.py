@@ -62,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.gpusim.faults import FaultPlan
     from repro.gpusim.workload import BlockWorkload
     from repro.kernels.base import KernelPlan
+    from repro.tuning.parallel import ParallelEvaluator
     from repro.tuning.space import ParameterSpace
 
 logger = logging.getLogger("repro.tuning.robust")
@@ -444,6 +445,17 @@ class RobustTuningSession:
         vary more than that (the CLI prepends family/order/dtype).
     prefilter / watchdog_cycles:
         Forwarded to the underlying executor/evaluator.
+    jobs:
+        ``None`` (default) keeps the historical serial
+        :class:`ResilientEvaluator` — shared fault stream, bit-identical
+        to every prior release.  An integer swaps in a
+        :class:`repro.tuning.parallel.ParallelEvaluator` with that many
+        workers (clamped to the core count): per-config fault streams,
+        batch dispatch, journal serialized through the parent.  Note
+        ``jobs=1`` therefore matches ``jobs=4``, not ``jobs=None``.
+    worker_cap:
+        Override for the parallel engine's core-count clamp (tests and
+        benches on small machines); ignored when ``jobs`` is ``None``.
     """
 
     def __init__(
@@ -458,6 +470,8 @@ class RobustTuningSession:
         session_key: str | None = None,
         prefilter: bool = True,
         watchdog_cycles: float | None = None,
+        jobs: int | None = None,
+        worker_cap: int | None = None,
     ) -> None:
         self.device = get_device(device) if isinstance(device, str) else device
         self.grid_shape = grid_shape
@@ -479,14 +493,44 @@ class RobustTuningSession:
                 self.journal = TrialJournal.create(journal_path, session_key)
         elif resume:
             raise JournalError("resume requested without a journal path")
-        executor = DeviceExecutor(
-            self.device, faults=faults, watchdog_cycles=watchdog_cycles
-        )
-        self.evaluator = ResilientEvaluator(
-            SimTrialEvaluator(self.device, prefilter=prefilter, executor=executor),
-            policy=policy,
-            journal=self.journal,
-        )
+        self.evaluator: "ResilientEvaluator | ParallelEvaluator"
+        if jobs is None:
+            executor = DeviceExecutor(
+                self.device, faults=faults, watchdog_cycles=watchdog_cycles
+            )
+            self.evaluator = ResilientEvaluator(
+                SimTrialEvaluator(
+                    self.device, prefilter=prefilter, executor=executor
+                ),
+                policy=policy,
+                journal=self.journal,
+            )
+        else:
+            # Deferred import: parallel.py imports this module.
+            from repro.tuning.parallel import ParallelEvaluator
+
+            self.evaluator = ParallelEvaluator(
+                self.device,
+                jobs=jobs,
+                prefilter=prefilter,
+                faults=faults,
+                watchdog_cycles=watchdog_cycles,
+                policy=policy,
+                journal=self.journal,
+                worker_cap=worker_cap,
+            )
+
+    def close(self) -> None:
+        """Release pooled resources (no-op for a serial session)."""
+        closer = getattr(self.evaluator, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "RobustTuningSession":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
 
     @staticmethod
     def default_session_key(

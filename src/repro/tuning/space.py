@@ -15,8 +15,9 @@ they run, just slowly — matching how a real tuner encounters them.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
-from dataclasses import dataclass, field
+import hashlib
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
 
 from repro.errors import ReproError, TuningError
 from repro.gpusim.arch import HALF_WARP
@@ -39,6 +40,21 @@ class ParameterSpace:
     rx_values: tuple[int, ...] = DEFAULT_RX
     ry_values: tuple[int, ...] = DEFAULT_RY
 
+    def signature(self) -> str:
+        """Stable content hash of the candidate value tuples.
+
+        This is the cache key component that keeps results tuned over
+        *different* spaces from colliding: two spaces share a signature
+        iff they enumerate identical (TX, TY, RX, RY) candidates.  The
+        hash is process-independent (no ``hash()`` / ``PYTHONHASHSEED``
+        dependence), so it is safe to persist in
+        :class:`repro.tuning.cache.TuningCache` files.
+        """
+        payload = repr(
+            (self.tx_values, self.ty_values, self.rx_values, self.ry_values)
+        ).encode("ascii")
+        return hashlib.sha256(payload).hexdigest()[:16]
+
     def raw_size(self) -> int:
         """Size of the unconstrained cross product."""
         return (
@@ -60,7 +76,7 @@ class ParameterSpace:
         self,
         device: DeviceSpec,
         grid_shape: tuple[int, int, int],
-        smem_bytes_of: "callable",
+        smem_bytes_of: Callable[[BlockConfig], int],
     ) -> list[BlockConfig]:
         """Configurations satisfying constraints (i)-(iv) on ``device``.
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable
+from typing import Any, Callable
 
 from repro.errors import TuningError
 from repro.gpusim.device import DeviceSpec
@@ -87,6 +87,13 @@ def stochastic_tune(
     swaps the measurement backend (and then owns the prefilter decision);
     quarantined configurations also score 0.0 and spend budget, keeping
     the walk itself deterministic under fault storms.
+
+    The walk is inherently sequential — each step's candidate depends on
+    the previous measurement — so a batch-capable evaluator
+    (``repro.tuning.parallel``) is driven one config at a time; its
+    per-config fault streams still make the walk identical at any
+    ``jobs`` count, and the resolved worker count is echoed in
+    ``info["jobs"]``.
     """
     if budget < 1:
         raise TuningError(f"budget must be >= 1, got {budget}")
@@ -187,11 +194,15 @@ def stochastic_tune(
             reverse=True,
         )
     )
+    info: dict[str, Any] = dict(stats)
+    jobs = getattr(evaluator, "jobs", None)
+    if jobs is not None:
+        info["jobs"] = jobs
     return TuneResult(
         best=entries[0],
         entries=entries,
         evaluated=len(entries),
         space_size=len(configs),
         method="stochastic",
-        info=dict(stats),
+        info=info,
     )

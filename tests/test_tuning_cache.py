@@ -3,8 +3,9 @@
 import json
 
 from repro.kernels.config import BlockConfig
-from repro.tuning.cache import TuningCache
+from repro.tuning.cache import SCHEMA_VERSION, TuningCache
 from repro.tuning.result import TuneEntry, TuneResult
+from repro.tuning.space import ParameterSpace, default_space
 
 
 def make_result() -> TuneResult:
@@ -15,6 +16,22 @@ def make_result() -> TuneResult:
     )
     return TuneResult(
         best=entry, entries=(entry,), evaluated=10, space_size=100, method="exhaustive"
+    )
+
+
+def make_ranked_result() -> TuneResult:
+    entries = tuple(
+        TuneEntry(
+            config=BlockConfig(32, 4, 1, ry),
+            mpoints_per_s=4000.0 - 100.0 * ry,
+            predicted=3900.0 - 100.0 * ry if ry % 2 else None,
+            info={"occupancy": 0.5, "load_efficiency": 0.8},
+        )
+        for ry in (1, 2, 4, 8)
+    )
+    return TuneResult(
+        best=entries[0], entries=entries, evaluated=4, space_size=270,
+        method="model", info={"rejected_static": 1, "jobs": 4},
     )
 
 
@@ -54,6 +71,76 @@ class TestCache:
         cache.put(make_result(), "f", 2, "sp", "gtx580", (8, 8, 8))
         assert json.loads(path.read_text())  # now valid
 
+    def test_roundtrip_preserves_every_entry(self, tmp_path):
+        # Regression: get() used to truncate the record to the winner
+        # (entries=(entry,)), silently discarding the ranking.
+        path = tmp_path / "cache.json"
+        result = make_ranked_result()
+        TuningCache(path).put(result, "f", 2, "sp", "gtx580", (8, 8, 8))
+        got = TuningCache(path).get("f", 2, "sp", "gtx580", (8, 8, 8))
+        assert got.entries == result.entries
+        assert got.best == result.best
+        assert got.evaluated == result.evaluated
+        assert got.space_size == result.space_size
+        assert got.info == result.info
+
+    def test_distinct_spaces_do_not_collide(self, tmp_path):
+        # Regression: space_sig used to default to the literal "default",
+        # so results tuned over different candidate sets shared one key.
+        cache = TuningCache(tmp_path / "cache.json")
+        narrow = ParameterSpace(rx_values=(1,), ry_values=(1,))
+        cache.put(
+            make_result(), "f", 2, "sp", "gtx580", (8, 8, 8),
+            space_sig=narrow.signature(),
+        )
+        assert cache.get("f", 2, "sp", "gtx580", (8, 8, 8)) is None
+        assert cache.get(
+            "f", 2, "sp", "gtx580", (8, 8, 8), space_sig=narrow.signature()
+        ) is not None
+
+    def test_default_sig_is_derived_from_default_space(self, tmp_path):
+        cache = TuningCache(tmp_path / "cache.json")
+        cache.put(make_result(), "f", 2, "sp", "gtx580", (8, 8, 8))
+        explicit = cache.get(
+            "f", 2, "sp", "gtx580", (8, 8, 8),
+            space_sig=default_space().signature(),
+        )
+        assert explicit is not None
+
+    def test_v1_file_read_compat(self, tmp_path):
+        # A bare key -> best-entry mapping (no schema_version) is the v1
+        # layout; it must load as a single-entry record, and the next put
+        # upgrades the file to v2.
+        path = tmp_path / "cache.json"
+        sig = default_space().signature()
+        v1 = {
+            f"f|2|sp|gtx580|8x8x8|{sig}": {
+                "config": [32, 4, 1, 4],
+                "mpoints_per_s": 1234.5,
+                "predicted": None,
+                "info": {"occupancy": 0.5},
+                "evaluated": 10,
+                "space_size": 100,
+                "method": "exhaustive",
+            }
+        }
+        path.write_text(json.dumps(v1))
+        cache = TuningCache(path)
+        got = cache.get("f", 2, "sp", "gtx580", (8, 8, 8))
+        assert got is not None
+        assert got.best_config == BlockConfig(32, 4, 1, 4)
+        assert got.entries == (got.best,)
+        cache.put(make_result(), "g", 2, "sp", "gtx580", (8, 8, 8))
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert len(doc["results"]) == 2
+
+    def test_future_schema_version_regenerates(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"schema_version": 99, "results": {}}))
+        cache = TuningCache(path)
+        assert len(cache) == 0
+
     def test_overwrite_updates(self, tmp_path):
         cache = TuningCache(tmp_path / "c.json")
         cache.put(make_result(), "f", 2, "sp", "gtx580", (8, 8, 8))
@@ -74,19 +161,26 @@ class TestCacheRobustness:
         path = tmp_path / "cache.json"
         cache = TuningCache(path)
         cache.put(make_result(), "f", 2, "sp", "gtx580", (8, 8, 8))
-        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+        # The lock file is a deliberate sibling; what must never linger
+        # is a half-written temp file.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "cache.json", "cache.json.lock",
+        ]
 
     def test_interleaved_writers_never_leave_partial_json(self, tmp_path):
         # Two handles on the same file, alternating puts: after every
         # single put the on-disk document parses (os.replace is atomic),
-        # and each writer's last write is a complete document.
+        # and the per-key merge under the lock means NO writer's keys are
+        # lost — each stale-view put used to clobber the other handle's.
         path = tmp_path / "cache.json"
         a, b = TuningCache(path), TuningCache(path)
         for i, cache in enumerate([a, b, a, b, a]):
             cache.put(make_result(), f"fam{i}", 2, "sp", "gtx580", (8, 8, 8))
             json.loads(path.read_text())
         final = TuningCache(path)
-        assert final.get("fam4", 2, "sp", "gtx580", (8, 8, 8)) is not None
+        for i in range(5):
+            assert final.get(f"fam{i}", 2, "sp", "gtx580", (8, 8, 8)) is not None
+        assert len(final) == 5
 
     def test_corrupt_cache_warns_with_path(self, tmp_path, caplog):
         path = tmp_path / "cache.json"

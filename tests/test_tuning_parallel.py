@@ -1,0 +1,235 @@
+"""Parallel tuning-engine tests: the ``--jobs N`` determinism contract.
+
+The headline guarantee (docs/TUNING.md): every tuner driven through a
+:class:`ParallelEvaluator` returns **bit-identical** results at any
+worker count — clean or under a seeded fault storm — because outcomes
+are reassembled in input order and every trial draws faults from its
+own per-config stream.  ``worker_cap=4`` bypasses the cpu-count clamp so
+a real 4-process pool forks even on one-core CI containers.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.errors import TuningError
+from repro.gpusim.device import get_device
+from repro.gpusim.faults import FaultPlan
+from repro.kernels.config import BlockConfig
+from repro.kernels.factory import make_kernel
+from repro.obs.schema import CAT_TUNE_WORKER
+from repro.stencils.spec import symmetric
+from repro.tuning.evaluator import batch_capable
+from repro.tuning.exhaustive import exhaustive_tune, feasible_configs
+from repro.tuning.modelbased import model_based_tune
+from repro.tuning.parallel import FamilyKernelBuilder, ParallelEvaluator
+from repro.tuning.perfmodel import ModelInputs, PaperModel
+from repro.tuning.robust import RetryPolicy, RobustTuningSession, TrialJournal
+from repro.tuning.space import ParameterSpace
+from repro.tuning.stochastic import stochastic_tune
+
+GRID = (64, 64, 32)
+SPACE = ParameterSpace(
+    tx_values=(16, 32, 64), ty_values=(1, 2, 4), rx_values=(1, 2), ry_values=(1, 2)
+)
+#: Per-launch fault rates low enough that six retries let every config through.
+STORM = dict(launch_failure_rate=0.08, hang_rate=0.04, throttle_rate=0.06)
+DEVICE = "gtx580"
+
+
+def build(cfg: BlockConfig):
+    return make_kernel("inplane_fullslice", symmetric(2), cfg)
+
+
+def parallel(jobs, **kwargs):
+    return ParallelEvaluator(
+        get_device(DEVICE), jobs=jobs, worker_cap=4, **kwargs
+    )
+
+
+def feasible():
+    return feasible_configs(build, get_device(DEVICE), GRID, SPACE)
+
+
+class TestPredictBatch:
+    def test_bit_identical_to_scalar_predict(self):
+        device = get_device(DEVICE)
+        model = PaperModel(device)
+        configs = feasible_configs(build, device, GRID)
+        inputs = [
+            ModelInputs.from_plan(build(cfg), device, GRID) for cfg in configs
+        ]
+        batch = model.predict_batch(inputs)
+        scalar = np.array([model.predict(i).mpoints_per_s for i in inputs])
+        assert batch.dtype == np.float64
+        assert (batch == scalar).all()  # bit-identical, not merely close
+
+
+class TestFamilyKernelBuilder:
+    def test_picklable(self):
+        builder = FamilyKernelBuilder("inplane_fullslice", 2, "sp")
+        clone = pickle.loads(pickle.dumps(builder))
+        cfg = BlockConfig(32, 4, 1, 4)
+        assert clone == builder
+        assert clone(cfg).name == builder(cfg).name
+
+    def test_builds_the_named_family(self):
+        builder = FamilyKernelBuilder("inplane_fullslice", 2)
+        cfg = BlockConfig(32, 4, 1, 4)
+        assert builder(cfg).name == build(cfg).name
+
+
+class TestEvaluatorValidation:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(TuningError, match="jobs"):
+            ParallelEvaluator(get_device(DEVICE), jobs=0)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(TuningError, match="chunk_size"):
+            ParallelEvaluator(get_device(DEVICE), jobs=1, chunk_size=0)
+
+    def test_worker_cap_clamps(self):
+        assert parallel(jobs=64).jobs == 4
+
+    def test_env_cap_overrides_core_clamp(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS_CAP", "3")
+        ev = ParallelEvaluator(get_device(DEVICE), jobs=64)
+        assert ev.jobs == 3
+
+    def test_implements_batch_protocol(self):
+        with parallel(jobs=1) as ev:
+            assert batch_capable(ev) is ev
+
+
+class TestCleanEquivalence:
+    """jobs=4 must match jobs=1 AND the historical serial loop, fault-free."""
+
+    def tune(self, method, evaluator=None):
+        device = get_device(DEVICE)
+        if method == "exhaustive":
+            return exhaustive_tune(
+                build, device, GRID, SPACE, evaluator=evaluator
+            )
+        if method == "model":
+            return model_based_tune(
+                build, device, GRID, beta=0.25, space=SPACE, evaluator=evaluator
+            )
+        return stochastic_tune(
+            build, device, GRID, budget=12, seed=3, space=SPACE,
+            evaluator=evaluator,
+        )
+
+    @pytest.mark.parametrize("method", ["exhaustive", "model", "stochastic"])
+    def test_jobs4_matches_jobs1_and_serial(self, method):
+        serial = self.tune(method)
+        with parallel(jobs=1) as ev1:
+            one = self.tune(method, evaluator=ev1)
+        with parallel(jobs=4) as ev4:
+            four = self.tune(method, evaluator=ev4)
+        assert one.best == four.best == serial.best
+        assert one.entries == four.entries == serial.entries
+        assert one.evaluated == four.evaluated == serial.evaluated
+
+    @pytest.mark.parametrize("method", ["exhaustive", "model", "stochastic"])
+    def test_info_reports_worker_count(self, method):
+        with parallel(jobs=4) as ev:
+            result = self.tune(method, evaluator=ev)
+        assert result.info["jobs"] == 4
+
+
+class TestFaultStormEquivalence:
+    """Same storm, same winner and same aggregated stats at any jobs count."""
+
+    def storm_result(self, jobs, journal_path=None, resume=False):
+        session = RobustTuningSession(
+            DEVICE, GRID,
+            faults=FaultPlan(seed=7, **STORM),
+            policy=RetryPolicy(max_retries=6),
+            journal_path=journal_path,
+            resume=resume,
+            jobs=jobs,
+            worker_cap=4,
+        )
+        try:
+            return session.run(build, method="exhaustive", space=SPACE)
+        finally:
+            session.close()
+
+    def test_storm_winner_and_stats_identical(self):
+        one = self.storm_result(jobs=1)
+        four = self.storm_result(jobs=4)
+        assert four.result.best == one.result.best
+        assert four.result.entries == one.result.entries
+        for key in ("live_trials", "retries", "quarantined_configs", "backoff_s"):
+            assert four.stats[key] == one.stats[key], key
+        assert one.stats["jobs"] == 1
+        assert four.stats["jobs"] == 4
+
+    def test_storm_journal_identical_and_resumable(self, tmp_path):
+        j1, j4 = tmp_path / "one.journal", tmp_path / "four.journal"
+        one = self.storm_result(jobs=1, journal_path=j1)
+        four = self.storm_result(jobs=4, journal_path=j4)
+        assert four.result.best == one.result.best
+        # Workers never touch the journal; the parent appends in input
+        # order, so the two files agree line for line past the header.
+        lines1 = j1.read_text().splitlines()
+        lines4 = j4.read_text().splitlines()
+        assert lines1[1:] == lines4[1:]
+        # A resumed parallel campaign replays every journaled trial.
+        resumed = self.storm_result(jobs=4, journal_path=j4, resume=True)
+        assert resumed.result.best == one.result.best
+        assert resumed.stats["replayed"] == len(lines4) - 1
+        assert resumed.stats["live_trials"] == 0
+
+
+class TestJournalThroughParent:
+    def test_batch_appends_fresh_outcomes_in_input_order(self, tmp_path):
+        journal = TrialJournal.create(tmp_path / "t.journal", "k")
+        configs = feasible()
+        with parallel(jobs=4, journal=journal) as ev:
+            outcomes = ev.measure_batch(build, configs, GRID)
+        measured = [o.config for o in outcomes if o.status != "rejected_static"]
+        reloaded = TrialJournal.resume(tmp_path / "t.journal", "k")
+        assert len(reloaded) == len(measured)
+        for cfg in measured:
+            assert reloaded.get(cfg) is not None
+
+
+class TestWorkerSpans:
+    def test_pool_batches_emit_per_worker_lanes(self):
+        configs = feasible()
+        with obs.tracing() as tracer:
+            with parallel(jobs=4, chunk_size=2) as ev:
+                ev.measure_batch(build, configs, GRID)
+        spans = tracer.host_spans(CAT_TUNE_WORKER)
+        assert spans, "a pooled batch must emit tune.worker spans"
+        # Every dispatched config is accounted to exactly one chunk span.
+        assert sum(s.args["configs"] for s in spans) == len(configs)
+        for span in spans:
+            assert span.tid.startswith("worker:")
+            assert span.args["pid"] > 0
+
+    def test_inline_batches_emit_no_worker_spans(self):
+        with obs.tracing() as tracer:
+            with parallel(jobs=1) as ev:
+                ev.measure_batch(build, feasible(), GRID)
+        assert tracer.host_spans(CAT_TUNE_WORKER) == []
+
+
+class TestPoolLifecycle:
+    def test_close_is_idempotent(self):
+        ev = parallel(jobs=4)
+        ev.measure_batch(build, feasible()[:4], GRID)
+        ev.close()
+        ev.close()
+
+    def test_batches_work_after_close(self):
+        ev = parallel(jobs=4)
+        configs = feasible()[:4]
+        first = ev.measure_batch(build, configs, GRID)
+        ev.close()
+        again = ev.measure_batch(build, configs, GRID)  # pool re-forks
+        ev.close()
+        assert first == again

@@ -18,7 +18,11 @@ Runs, in order:
    storm with a journal, then a ``--resume`` of the same journal: both
    must exit 0, exercising retry, quarantine, and crash-safe replay
    end to end)
-6. the tier-1 test suite (``pytest tests/``)
+6. the parallel-tuning smoke test (``repro tune --jobs 1`` vs
+   ``--jobs 2`` with ``REPRO_JOBS_CAP=2`` so a real worker pool forks
+   even on a one-core container: stdout must match byte for byte —
+   the determinism contract of ``docs/TUNING.md``)
+7. the tier-1 test suite (``pytest tests/``)
 
 Static tools that are not installed are reported as *skipped* and do not
 fail the gate — the container bakes in the runtime toolchain but not
@@ -81,6 +85,36 @@ def fault_smoke(env: dict) -> str:
     return "ok"
 
 
+def parallel_smoke(env: dict) -> str:
+    """Tune the same sweep at --jobs 1 and --jobs 2; stdout must match."""
+    label = "parallel-smoke"
+    base = [
+        sys.executable, "-m", "repro.cli", "-q", "tune",
+        "--kernel", "inplane_fullslice", "--order", "2",
+        "--device", "gtx580", "--grid", "64,64,32",
+    ]
+    penv = dict(env)
+    penv["REPRO_JOBS_CAP"] = "2"  # force a real pool even on one core
+    outputs = {}
+    for jobs in ("1", "2"):
+        cmd = base + ["--jobs", jobs]
+        print(f"[check] {label}/jobs={jobs}: {' '.join(cmd)}")
+        proc = subprocess.run(cmd, cwd=REPO, env=penv, capture_output=True)
+        if proc.returncode != 0:
+            sys.stdout.buffer.write(proc.stdout)
+            sys.stderr.buffer.write(proc.stderr)
+            print(f"[check] {label}: FAILED (jobs={jobs} exited "
+                  f"{proc.returncode})")
+            return "FAILED"
+        outputs[jobs] = proc.stdout
+    if outputs["1"] != outputs["2"]:
+        print(f"[check] {label}: FAILED (--jobs 2 output diverged from "
+              "--jobs 1 — determinism contract broken)")
+        return "FAILED"
+    print(f"[check] {label}: ok")
+    return "ok"
+
+
 def main() -> int:
     import os
 
@@ -110,6 +144,7 @@ def main() -> int:
             env=env,
         ),
         "fault-smoke": fault_smoke(env),
+        "parallel-smoke": parallel_smoke(env),
         "pytest": run(
             "pytest",
             [sys.executable, "-m", "pytest", "tests", "-q"],
