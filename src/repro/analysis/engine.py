@@ -23,7 +23,9 @@ from repro.analysis.diagnostics import AnalysisReport
 from repro.errors import ConfigurationError, ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.planir import AccessPlanIR
     from repro.cluster.decompose import Slab
+    from repro.codegen.cuda import CudaSource
     from repro.gpusim.device import DeviceSpec
     from repro.kernels.base import KernelPlan
     from repro.stencils.expr import StencilExpr
@@ -146,6 +148,29 @@ def analyze_slabs(
         suppressed=tuple(suppress),
     )
     report.extend(coverage.slab_diagnostics(slabs, lz, radius))
+    return report
+
+
+def analyze_emitted(
+    src: "CudaSource",
+    ir: "AccessPlanIR | None" = None,
+    *,
+    suppress: Iterable[str] = (),
+) -> AnalysisReport:
+    """Run the ``SRC-*`` family over one emitted translation unit.
+
+    ``ir`` defaults to the access-plan IR the emitter attached to the
+    source record; without any IR only the IR-free structural checks
+    (delimiter balance, dialect purity) apply.  Imported lazily — the
+    verifier's documentation references the codegen types and the
+    emitters import this package.
+    """
+    from repro.analysis.srcverify import verify_emitted
+
+    report = AnalysisReport(
+        subject=f"{src.name} [{src.backend}]", suppressed=tuple(suppress)
+    )
+    report.extend(verify_emitted(src, ir))
     return report
 
 

@@ -217,3 +217,45 @@ CFG_NONDIV = _rule(
     "CFG-NONDIV", Severity.WARNING,
     "candidate values not covered by the tuner's default space",
 )
+
+# ---------------------------------------------------------------------------
+# SRC — emitted-source verification (generated text vs. the access-plan IR)
+# ---------------------------------------------------------------------------
+SRC_DELIM = _rule(
+    "SRC-DELIM", Severity.ERROR,
+    "generated source has unbalanced ()/{}/[] delimiters (truncated or "
+    "mangled translation unit)",
+)
+SRC_TILE_DIM = _rule(
+    "SRC-TILE-DIM", Severity.ERROR,
+    "a baked tile/blocking constant disagrees with the access-plan IR, or "
+    "the shared-tile declaration is missing",
+)
+SRC_BARRIER = _rule(
+    "SRC-BARRIER", Severity.ERROR,
+    "per-plane barrier count in the emitted text differs from the IR's "
+    "synchronization points",
+)
+SRC_VEC = _rule(
+    "SRC-VEC", Severity.ERROR,
+    "vector-type width in the emitted loads differs from the IR's legal width",
+)
+SRC_LAUNCH_BOUNDS = _rule(
+    "SRC-LAUNCH-BOUNDS", Severity.ERROR,
+    "launch-bounds / work-group-size annotation missing or inconsistent "
+    "with the IR's thread count",
+)
+SRC_QUEUE = _rule(
+    "SRC-QUEUE", Severity.ERROR,
+    "z-pipeline register state (z-column depth, partial-sum queue) differs "
+    "from the IR's method",
+)
+SRC_DIALECT = _rule(
+    "SRC-DIALECT", Severity.ERROR,
+    "a foreign-dialect token survived translation (e.g. a CUDA-ism in the "
+    "OpenCL output)",
+)
+SRC_ESTIMATE = _rule(
+    "SRC-ESTIMATE", Severity.WARNING,
+    "prediction header missing, unparsable, or naming a different kernel",
+)

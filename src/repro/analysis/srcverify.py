@@ -1,0 +1,321 @@
+"""Emitted-source verification: the ``SRC-*`` rule family.
+
+The access-plan IR (:mod:`repro.analysis.planir`) says what a generated
+translation unit *must* contain — tile constants, barrier points, vector
+widths, launch bounds, z-pipeline depths.  This pass re-parses the text
+an emitter actually produced and cross-checks the two, so a codegen bug
+(or a botched dialect rewrite in the OpenCL/HIP derivation) is a lint
+error at generation time instead of a miscompiled kernel later.
+
+All checks are purely textual: comment-stripped token scans and small
+regexes over structure the emitters guarantee (``#define`` constants, the
+shared-tile declaration, the register-column declarations).  Nothing here
+compiles or executes anything.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+from repro.analysis import rules
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.planir import AccessPlanIR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a codegen cycle)
+    from repro.codegen.cuda import CudaSource
+
+#: Backend -> the barrier intrinsic whose per-plane count the IR pins.
+BARRIER_TOKENS = {
+    "cuda": "__syncthreads()",
+    "hip": "__syncthreads()",
+    "opencl": "barrier(CLK_LOCAL_MEM_FENCE)",
+}
+
+#: Backend -> tokens that must NOT appear in (comment-stripped) code.
+#: The OpenCL list is the translation-completeness contract of the regex
+#: rewriter; the CUDA/HIP list catches the reverse direction.
+FOREIGN_TOKENS = {
+    "cuda": (
+        "__kernel", "__local ", "get_local_id", "get_group_id",
+        "barrier(CLK_LOCAL_MEM_FENCE)", "reqd_work_group_size",
+        "opencl_unroll_hint",
+    ),
+    "hip": (
+        "__kernel", "__local ", "get_local_id", "get_group_id",
+        "barrier(CLK_LOCAL_MEM_FENCE)", "reqd_work_group_size",
+        "opencl_unroll_hint",
+    ),
+    "opencl": (
+        "__global__", "__shared__", "__syncthreads", "threadIdx",
+        "blockIdx", 'extern "C"', "reinterpret_cast", "__launch_bounds__",
+        "__device__", "__forceinline__", "#pragma unroll",
+    ),
+}
+
+#: Baked integer constants the IR pins, name -> extractor.
+_PINNED_DEFINES = (
+    ("RADIUS", lambda ir: ir.radius),
+    ("BLOCK_X", lambda ir: ir.block[0]),
+    ("BLOCK_Y", lambda ir: ir.block[1]),
+    ("RX", lambda ir: ir.block[2]),
+    ("RY", lambda ir: ir.block[3]),
+    ("TILE_X", lambda ir: ir.block[0] * ir.block[2]),
+    ("TILE_Y", lambda ir: ir.block[1] * ir.block[3]),
+    ("TILE_PITCH", lambda ir: ir.tile.pitch_elems),
+)
+
+_VEC_CAST = {
+    # reinterpret_cast<const float2*> / (const __global double4*)
+    "cuda": re.compile(r"reinterpret_cast<const (?:float|double)(\d?)\*>"),
+    "hip": re.compile(r"reinterpret_cast<const (?:float|double)(\d?)\*>"),
+    "opencl": re.compile(r"\(const __global (?:float|double)(\d?)\*\)"),
+}
+
+_ROW_VECS = re.compile(
+    r"#define ROW_VECS \(\(\(TILE_X \+ 2 \* RADIUS\) \+ (\d+) - 1\) / (\d+)\)"
+)
+_ZCOL_DECL = re.compile(r"zcol\[RY\]\[RX\]\[(\d+)\]")
+
+
+def strip_comments(text: str) -> str:
+    """Drop ``//`` line comments and ``/* */`` blocks.
+
+    The generated sources carry no string or character literals outside
+    comments (the prediction header's JSON lives *in* a comment), so a
+    plain lexical strip is exact for them.
+    """
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def delimiters_balanced(code: str) -> bool:
+    """Check ``()``/``{}``/``[]`` nesting over comment-stripped code."""
+    pairs = {"(": ")", "{": "}", "[": "]"}
+    stack: list[str] = []
+    for ch in code:
+        if ch in pairs:
+            stack.append(pairs[ch])
+        elif ch in pairs.values():
+            if not stack or stack.pop() != ch:
+                return False
+    return not stack
+
+
+def _int_defines(text: str) -> dict[str, int]:
+    """All ``#define NAME <int>`` constants of the translation unit."""
+    return {
+        m.group(1): int(m.group(2))
+        for m in re.finditer(r"#define (\w+) (-?\d+)\s*$", text, re.MULTILINE)
+    }
+
+
+def _check_structure(
+    src: CudaSource, code: str, loc: str
+) -> list[Diagnostic]:
+    """IR-free checks: balance and dialect purity."""
+    diags: list[Diagnostic] = []
+    if not delimiters_balanced(code):
+        diags.append(rules.SRC_DELIM.diag(
+            loc, "unbalanced ()/{}/[] delimiters in the emitted code",
+            hint="the translation unit is truncated or a rewrite mangled it",
+        ))
+    for token in FOREIGN_TOKENS.get(src.backend, ()):
+        if token in code:
+            diags.append(rules.SRC_DIALECT.diag(
+                loc,
+                f"foreign-dialect token {token!r} present in the "
+                f"{src.backend} output",
+                hint="the dialect rewrite set is incomplete for this plan",
+            ))
+    if src.backend == "hip" and "#include <hip/hip_runtime.h>" not in src.text:
+        diags.append(rules.SRC_DIALECT.diag(
+            loc, "HIP translation unit lacks '#include <hip/hip_runtime.h>'",
+        ))
+    return diags
+
+
+def _check_constants(ir: AccessPlanIR, text: str, loc: str) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    defines = _int_defines(text)
+    for name, want_of in _PINNED_DEFINES:
+        want = want_of(ir)
+        got = defines.get(name)
+        if got is None:
+            diags.append(rules.SRC_TILE_DIM.diag(
+                loc, f"#define {name} missing (IR pins {want})",
+            ))
+        elif got != want:
+            diags.append(rules.SRC_TILE_DIM.diag(
+                loc, f"#define {name} is {got}, IR pins {want}",
+            ))
+    return diags
+
+
+def _check_tile_decl(
+    src: CudaSource, ir: AccessPlanIR, code: str, loc: str
+) -> list[Diagnostic]:
+    qualifier = "__local" if src.backend == "opencl" else "__shared__"
+    decl = f"{qualifier} {ir.ctype} tile[TILE_Y + 2 * RADIUS][TILE_PITCH]"
+    if decl not in code:
+        return [rules.SRC_TILE_DIM.diag(
+            loc,
+            f"shared-tile declaration {decl!r} not found",
+            hint="tile geometry or element type diverged from the IR",
+        )]
+    return []
+
+
+def _check_barriers(
+    src: CudaSource, ir: AccessPlanIR, code: str, loc: str
+) -> list[Diagnostic]:
+    token = BARRIER_TOKENS.get(src.backend)
+    if token is None:
+        return []
+    count = code.count(token)
+    if count != ir.barriers_per_plane:
+        return [rules.SRC_BARRIER.diag(
+            loc,
+            f"{count} {token!r} per plane, IR pins {ir.barriers_per_plane}",
+            hint="one barrier after the cooperative load, one after compute",
+        )]
+    return []
+
+
+def _check_vectors(
+    src: CudaSource, ir: AccessPlanIR, code: str, loc: str
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    m = _ROW_VECS.search(src.text)
+    if m is None:
+        diags.append(rules.SRC_VEC.diag(loc, "#define ROW_VECS missing"))
+    elif int(m.group(1)) != ir.vector_width or m.group(1) != m.group(2):
+        diags.append(rules.SRC_VEC.diag(
+            loc,
+            f"ROW_VECS divides rows by {m.group(1)}/{m.group(2)}, "
+            f"IR pins vector width {ir.vector_width}",
+        ))
+    cast_widths = {
+        int(w or "1") for w in _VEC_CAST[src.backend].findall(code)
+    }
+    # Only the fullslice/horizontal merged loads emit vector casts; where
+    # they appear, the widest must be exactly the IR's legal width.
+    if cast_widths and max(cast_widths) != ir.vector_width:
+        diags.append(rules.SRC_VEC.diag(
+            loc,
+            f"emitted vector casts of width {sorted(cast_widths)}, "
+            f"IR pins {ir.vector_width}",
+            hint="a wider-than-legal cast breaks the alignment guarantee",
+        ))
+    if not cast_widths and ir.vector_width > 1 and ir.variant in (
+        "fullslice", "horizontal"
+    ):
+        diags.append(rules.SRC_VEC.diag(
+            loc,
+            f"IR pins vector width {ir.vector_width} but the "
+            f"{ir.variant} load emits no vector cast",
+        ))
+    return diags
+
+
+def _check_launch_bounds(
+    src: CudaSource, ir: AccessPlanIR, code: str, loc: str
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    if src.launch_bounds != ir.launch_bounds:
+        diags.append(rules.SRC_LAUNCH_BOUNDS.diag(
+            loc,
+            f"source record declares launch bounds {src.launch_bounds}, "
+            f"IR pins {ir.launch_bounds}",
+        ))
+    if src.backend == "opencl":
+        if "reqd_work_group_size(BLOCK_X, BLOCK_Y, 1)" not in src.text:
+            diags.append(rules.SRC_LAUNCH_BOUNDS.diag(
+                loc, "reqd_work_group_size(BLOCK_X, BLOCK_Y, 1) missing",
+            ))
+    elif "__launch_bounds__(THREADS)" not in code:
+        diags.append(rules.SRC_LAUNCH_BOUNDS.diag(
+            loc, "__launch_bounds__(THREADS) annotation missing",
+        ))
+    return diags
+
+
+def _check_zpipeline(
+    ir: AccessPlanIR, code: str, loc: str
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    m = _ZCOL_DECL.search(code)
+    if m is None:
+        diags.append(rules.SRC_QUEUE.diag(
+            loc, "z register-column declaration zcol[RY][RX][...] missing",
+        ))
+    elif int(m.group(1)) != ir.zqueue_depth:
+        diags.append(rules.SRC_QUEUE.diag(
+            loc,
+            f"z-column depth {m.group(1)}, IR pins {ir.zqueue_depth} "
+            f"({'r' if ir.method == 'inplane' else '2r+1'} for the "
+            f"{ir.method} method)",
+        ))
+    has_queue = "queue[RY][RX][RADIUS]" in code
+    if ir.queue_depth > 0 and not has_queue:
+        diags.append(rules.SRC_QUEUE.diag(
+            loc,
+            "in-plane method requires the partial-sum queue "
+            "queue[RY][RX][RADIUS] (Eqns (3)-(5))",
+        ))
+    if ir.queue_depth == 0 and has_queue:
+        diags.append(rules.SRC_QUEUE.diag(
+            loc,
+            "forward-plane method must not carry a partial-sum queue",
+        ))
+    return diags
+
+
+def _check_estimate_header(
+    src: CudaSource, ir: AccessPlanIR, loc: str
+) -> list[Diagnostic]:
+    from repro.analysis.estimate import parse_header
+
+    try:
+        payload = parse_header(src.text)
+    except ValueError as exc:
+        return [rules.SRC_ESTIMATE.diag(
+            loc, f"prediction header unparsable: {exc}",
+        )]
+    if payload is None:
+        return [rules.SRC_ESTIMATE.diag(
+            loc, "no '// repro.estimate:' prediction header",
+            hint="emitters attach one unless generation was asked not to",
+        )]
+    if payload.get("kernel") != ir.kernel:
+        return [rules.SRC_ESTIMATE.diag(
+            loc,
+            f"prediction header names kernel {payload.get('kernel')!r}, "
+            f"IR is {ir.kernel!r}",
+        )]
+    return []
+
+
+def verify_emitted(
+    src: CudaSource, ir: AccessPlanIR | None = None
+) -> list[Diagnostic]:
+    """Cross-check one emitted translation unit against its access-plan IR.
+
+    ``ir`` defaults to the one the emitter attached to the source record.
+    Without any IR (a source built by hand), only the IR-free structural
+    checks run — delimiter balance and dialect purity.
+    """
+    ir = ir if ir is not None else src.ir
+    loc = f"{src.name} [{src.backend}]"
+    code = strip_comments(src.text)
+    diags = _check_structure(src, code, loc)
+    if ir is None:
+        return diags
+    diags.extend(_check_constants(ir, src.text, loc))
+    diags.extend(_check_tile_decl(src, ir, code, loc))
+    diags.extend(_check_barriers(src, ir, code, loc))
+    diags.extend(_check_vectors(src, ir, code, loc))
+    diags.extend(_check_launch_bounds(src, ir, code, loc))
+    diags.extend(_check_zpipeline(ir, code, loc))
+    diags.extend(_check_estimate_header(src, ir, loc))
+    return diags

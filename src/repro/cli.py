@@ -319,18 +319,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_codegen(args: argparse.Namespace) -> int:
     from repro.codegen import generate_host_driver, generate_kernel
+    from repro.codegen.manifest import BACKENDS, generate_backend
 
     block = BlockConfig(*_parse_ints(args.block))
     plan = make_kernel(args.kernel, symmetric(args.order), block, args.dtype)
-    src = generate_kernel(plan, grid_shape=_parse_ints(args.grid, 3))
-    text = src.text
-    if args.driver:
-        text += "\n" + generate_host_driver(plan, _parse_ints(args.grid, 3))
-    if args.out:
-        Path(args.out).write_text(text)
-        log.info("wrote %s (%d kernel lines)", args.out, src.line_count())
-    else:
-        print(text)
+    backends = BACKENDS if args.backend == "all" else (args.backend,)
+    for backend in backends:
+        if backend == "cuda":
+            src = generate_kernel(plan, grid_shape=_parse_ints(args.grid, 3))
+        else:
+            src = generate_backend(plan, backend)
+        text = src.text
+        if args.driver and backend == "cuda":
+            text += "\n" + generate_host_driver(plan, _parse_ints(args.grid, 3))
+        if args.out:
+            out = args.out if len(backends) == 1 else f"{args.out}.{backend}"
+            Path(out).write_text(text)
+            log.info("wrote %s (%d kernel lines)", out, src.line_count())
+        else:
+            print(text)
     return 0
 
 
@@ -343,6 +350,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
 
     suppress = tuple(args.suppress or ())
+
+    if args.emitted:
+        from repro.analysis import analyze_emitted
+        from repro.codegen.manifest import BACKENDS, generate_backend
+
+        block = BlockConfig(*_parse_ints(args.block))
+        plan = make_kernel(args.kernel, symmetric(args.order), block, args.dtype)
+        report = AnalysisReport(
+            subject=f"emitted sources of {plan.name}", suppressed=suppress
+        )
+        for backend in BACKENDS:
+            # Generate unverified: the point of lint is to *report* the
+            # SRC-* findings, not to have the emitter refuse first.
+            src = generate_backend(plan, backend, verify=False)
+            report.merge(analyze_emitted(src, suppress=suppress))
+        print(report.to_json() if args.json else report.render())
+        return report.exit_code()
 
     if args.stencil or args.stencil_file:
         source = (
@@ -461,6 +485,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     for failure in failures:
         log.error("reconciliation failure: %s", failure)
     return 1 if failures else 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    """Codegen-time performance estimation from the access-plan IR.
+
+    Default mode lowers one plan and prints the prediction the emitters
+    attach as the source header; ``--reconcile`` instead resimulates a
+    recorded trajectory and cross-checks the estimator against the
+    measured counters (and every distinct plan's emitted sources against
+    the IR), exiting 1 on any mismatch — the ``tools/check.py`` gate.
+    """
+    import json
+
+    from repro.analysis.estimate import estimate_plan, reconcile_profile
+
+    if args.reconcile:
+        report = reconcile_profile(
+            args.baseline, verify_sources=not args.no_verify_sources
+        )
+        if args.json:
+            print(json.dumps(report.to_json_obj(), indent=1))
+        else:
+            print(report.render())
+        return report.exit_code()
+
+    block = BlockConfig(*_parse_ints(args.block))
+    plan = make_kernel(args.kernel, symmetric(args.order), block, args.dtype)
+    est = estimate_plan(plan, args.device, _parse_ints(args.grid, 3))
+    if args.json:
+        print(json.dumps(est.to_json_obj(), indent=1))
+    else:
+        print(est.render())
+    return 0
 
 
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
@@ -586,14 +643,20 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--out-dir", help="directory for 'all'")
     exp.set_defaults(func=_cmd_experiment)
 
-    cg = sub.add_parser("codegen", help="emit CUDA C for a kernel plan")
+    cg = sub.add_parser("codegen", help="emit kernel source for a plan")
     cg.add_argument("--kernel", default="inplane_fullslice")
     cg.add_argument("--order", type=int, default=4)
     cg.add_argument("--block", default="32,4,1,4")
     cg.add_argument("--dtype", default="sp", choices=("sp", "dp"))
     cg.add_argument("--grid", default="512,512,256")
-    cg.add_argument("--out", help="write the .cu file here")
-    cg.add_argument("--driver", action="store_true", help="append host driver")
+    cg.add_argument(
+        "--backend", default="cuda", choices=("cuda", "opencl", "hip", "all"),
+        help="emitter backend; 'all' emits every backend "
+             "(--out gains a .<backend> suffix)",
+    )
+    cg.add_argument("--out", help="write the source file here")
+    cg.add_argument("--driver", action="store_true",
+                    help="append host driver (CUDA backend only)")
     cg.set_defaults(func=_cmd_codegen)
 
     lint = sub.add_parser(
@@ -623,7 +686,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--stencil", help="inline DSL source to lint instead")
     lint.add_argument("--stencil-file", help="DSL source file to lint instead")
+    lint.add_argument(
+        "--emitted", action="store_true",
+        help="generate all three backends (CUDA/OpenCL/HIP) for the plan "
+             "and run the SRC-* emitted-source verification on each "
+             "against the shared access-plan IR",
+    )
     lint.set_defaults(func=_cmd_lint)
+
+    est = sub.add_parser(
+        "estimate",
+        help="codegen-time performance prediction from the access-plan IR",
+    )
+    est.add_argument("--kernel", default="inplane_fullslice")
+    est.add_argument("--order", type=int, default=4)
+    est.add_argument("--block", default="32,4,1,4", help="TX,TY[,RX,RY]")
+    est.add_argument("--dtype", default="sp", choices=("sp", "dp"))
+    est.add_argument("--device", default="gtx580")
+    est.add_argument("--grid", default="512,512,256")
+    est.add_argument(
+        "--reconcile", action="store_true",
+        help="cross-check the estimator against the measured counters of "
+             "every record in --baseline (faulted records skipped) and "
+             "verify every distinct plan's emitted sources; exit 1 on "
+             "any mismatch",
+    )
+    est.add_argument(
+        "--baseline", default="BENCH_profile.json",
+        help="trajectory document for --reconcile",
+    )
+    est.add_argument(
+        "--no-verify-sources", action="store_true",
+        help="skip the emitted-source verification leg of --reconcile",
+    )
+    est.add_argument("--json", action="store_true",
+                     help="machine-readable output")
+    est.set_defaults(func=_cmd_estimate)
 
     prof = sub.add_parser(
         "profile", help="profile on the simulated GPU (nvprof/Nsight analogue)"

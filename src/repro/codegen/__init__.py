@@ -1,22 +1,48 @@
-"""CUDA source generation for the stencil kernel variants.
+"""Multi-backend source generation for the stencil kernel variants.
 
 The paper's system is ultimately a CUDA code generator plus an
-auto-tuner; this package emits the CUDA C a given
+auto-tuner; this package emits the source a given
 :class:`~repro.kernels.base.KernelPlan` corresponds to — the in-plane
 partial-sum pipeline (Eqns (3)-(5)), the Fig 6 loading variants with
 vectorized merged regions, register tiling with strided stores, and the
 forward-plane baseline — so a user with real hardware can compile and run
-what the simulator prices.  Generated sources are deterministic functions
-of (stencil, blocking configuration, dtype, variant), which the tests
-exploit to pin their structure.
+what the simulator prices.
+
+Three backends share one lowering: every emitter consumes the
+backend-neutral access-plan IR (:mod:`repro.analysis.planir`) rather
+than re-deriving constants from the plan, every generated translation
+unit carries a ``// repro.estimate:`` prediction header priced from that
+IR, and every output is re-parsed and cross-checked against the IR by
+the ``SRC-*`` verifier before it ships.  Generated sources are
+deterministic functions of (stencil, blocking configuration, dtype,
+variant, backend), which both the tests and the checked-in digest
+manifest (:mod:`repro.codegen.manifest`) pin byte-for-byte.
 """
 
-from repro.codegen.cuda import CudaSource, generate_kernel, generate_host_driver
+from repro.codegen.cuda import (
+    CudaSource,
+    generate_host_driver,
+    generate_kernel,
+    verify_or_raise,
+)
+from repro.codegen.hip import generate_hip_kernel
+from repro.codegen.manifest import (
+    MANIFEST_PATH,
+    digest_matrix,
+    generate_backend,
+    manifest_matrix,
+)
 from repro.codegen.opencl import generate_opencl_kernel
 
 __all__ = [
     "CudaSource",
-    "generate_kernel",
+    "MANIFEST_PATH",
+    "digest_matrix",
+    "generate_backend",
+    "generate_hip_kernel",
     "generate_host_driver",
+    "generate_kernel",
     "generate_opencl_kernel",
+    "manifest_matrix",
+    "verify_or_raise",
 ]

@@ -21,7 +21,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.analysis import gate_codegen
-from repro.gpusim.smem import padded_pitch_words
+from repro.analysis.diagnostics import Severity
+from repro.analysis.estimate import prediction_header
+from repro.analysis.planir import DEFAULT_GRID, AccessPlanIR, lower_plan
+from repro.errors import ConfigurationError
 from repro.kernels.inplane import InPlaneKernel
 from repro.kernels.nvstencil import NvStencilKernel
 from repro.kernels.symmetric import SymmetricKernelPlan
@@ -32,14 +35,35 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class CudaSource:
-    """One generated translation unit."""
+    """One generated translation unit, with the IR it was lowered from."""
 
     name: str
     text: str
     launch_bounds: tuple[int, int]  # (threads per block, min blocks per SM)
+    backend: str = "cuda"           # "cuda" | "opencl" | "hip"
+    ir: AccessPlanIR | None = None  # the access plan the text must honour
 
     def line_count(self) -> int:
         return len(self.text.splitlines())
+
+
+def verify_or_raise(src: CudaSource) -> None:
+    """Refuse to ship emitted text that fails its own ``SRC-*`` checks.
+
+    Imported lazily: the verifier lives in :mod:`repro.analysis.srcverify`,
+    which this package's emitters are the subject of.
+    """
+    from repro.analysis.srcverify import verify_emitted
+
+    errors = [d for d in verify_emitted(src) if d.severity == Severity.ERROR]
+    if not errors:
+        return
+    findings = "; ".join(f"[{d.rule}] {d.message}" for d in errors)
+    raise ConfigurationError(
+        f"emitted source for {src.name} [{src.backend}] failed "
+        f"verification: {findings}",
+        rule=errors[0].rule,
+    )
 
 
 def _ctype(plan: SymmetricKernelPlan) -> str:
@@ -49,18 +73,6 @@ def _ctype(plan: SymmetricKernelPlan) -> str:
 def _vec_type(plan: SymmetricKernelPlan, width: int) -> str:
     base = _ctype(plan)
     return base if width == 1 else f"{base}{width}"
-
-
-def _vector_width(plan: SymmetricKernelPlan) -> int:
-    """Widest legal vector for the variant's dominant merged row."""
-    if isinstance(plan, NvStencilKernel) or not getattr(plan, "use_vectors", False):
-        return 1
-    r = plan.spec.radius
-    layout = plan.layout((512, 512, 256), aligned_x=-r)
-    if plan.variant in ("fullslice", "horizontal"):
-        return layout.vector_width_for(-r, plan.block.tile_x + 2 * r, plan.block.tile_x)
-    layout0 = plan.layout((512, 512, 256), aligned_x=0)
-    return layout0.vector_width_for(0, plan.block.tile_x, plan.block.tile_x)
 
 
 def _coefficients_block(plan: SymmetricKernelPlan) -> str:
@@ -238,6 +250,8 @@ def generate_kernel(
     plan: SymmetricKernelPlan,
     grid_shape: tuple[int, int, int] | None = None,
     device: "DeviceSpec | None" = None,
+    *,
+    verify: bool = True,
 ) -> CudaSource:
     """Emit the CUDA C translation unit for ``plan``.
 
@@ -248,6 +262,14 @@ def generate_kernel(
     naming the rule, instead of producing CUDA source that compiles but
     corrupts its output.  ``grid_shape``/``device`` widen the gate to the
     grid- and resource-dependent rule families when known.
+
+    Emission then lowers the plan to its access-plan IR
+    (:func:`repro.analysis.planir.lower_plan`): every constant the text
+    bakes — tile dims, padded pitch, vector width, register-queue depth —
+    is read *from the IR*, a prediction header prices the IR on the
+    target device, and (unless ``verify=False``) the finished text is
+    re-parsed and cross-checked against the same IR before it is
+    returned.
     """
     if not isinstance(plan, (InPlaneKernel, NvStencilKernel)):
         raise TypeError(
@@ -255,21 +277,20 @@ def generate_kernel(
             f"kernels, not {type(plan).__name__}"
         )
     gate_codegen(plan, device=device, grid_shape=grid_shape)
+    ir = lower_plan(plan, grid_shape or DEFAULT_GRID)
     spec, block = plan.spec, plan.block
     r = spec.radius
-    ctype = _ctype(plan)
-    vec = _vector_width(plan)
-    inplane = isinstance(plan, InPlaneKernel)
-    kname = (
-        f"{'inplane' if inplane else 'nvstencil'}_{plan.variant}"
-        f"_o{spec.order}_{plan.dtype_name}"
-        f"_{block.tx}x{block.ty}x{block.rx}x{block.ry}"
-    )
+    ctype = ir.ctype
+    vec = ir.vector_width
+    inplane = ir.method == "inplane"
+    kname = ir.kernel
 
     tile_x, tile_y = block.tile_x, block.tile_y
-    pitch_words = padded_pitch_words(((tile_x + 2 * r) * plan.elem_bytes + 3) // 4)
-    tile_pitch = pitch_words * 4 // plan.elem_bytes
-    zdepth = r if inplane else 2 * r + 1
+    tile_pitch = ir.tile.pitch_elems
+    zdepth = ir.zqueue_depth
+    estimate_line = prediction_header(
+        ir, device if device is not None else "gtx580"
+    )
 
     header = f"""// Auto-generated by repro.codegen — do not edit.
 // Kernel : {kname}
@@ -277,6 +298,7 @@ def generate_kernel(
 // Loading: {plan.variant}
 // Stencil: order {spec.order} (radius {r}), {ctype}
 // Block  : TX={block.tx} TY={block.ty} RX={block.rx} RY={block.ry}
+{estimate_line}
 
 #define RADIUS {r}
 #define BLOCK_X {block.tx}
@@ -364,14 +386,22 @@ void {kname}(const {ctype}* __restrict__ in,
     }}
 }}
 """
-    return CudaSource(
+    src = CudaSource(
         name=kname,
         text=header + body,
-        launch_bounds=(block.threads, 1),
+        launch_bounds=ir.launch_bounds,
+        backend="cuda",
+        ir=ir,
     )
+    if verify:
+        verify_or_raise(src)
+    return src
 
 
-def generate_host_driver(plan: SymmetricKernelPlan, grid_shape=(512, 512, 256)) -> str:
+def generate_host_driver(
+    plan: SymmetricKernelPlan,
+    grid_shape: tuple[int, int, int] = (512, 512, 256),
+) -> str:
     """Emit the host-side launch snippet for ``plan`` (Fig 1's loop)."""
     lx, ly, lz = grid_shape
     src = generate_kernel(plan)

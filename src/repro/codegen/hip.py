@@ -1,0 +1,51 @@
+"""HIP C++ emitter — the AMD-portable rendering of the kernel plans.
+
+HIP deliberately mirrors the CUDA driver dialect (Shan et al.'s
+programming-model comparison in PAPERS.md measures exactly this
+CUDA/HIP/OpenCL spread), so the translation unit body is the same text
+the CUDA emitter lowers from the access-plan IR: ``__global__``,
+``__shared__``, ``__syncthreads()``, ``threadIdx`` and the vector types
+are all native HIP.  What differs is the required runtime header and the
+toolchain (``hipcc``); host-side launch syntax would differ too, but the
+kernel translation unit itself is dialect-identical.
+
+Because the emitted structure is the CUDA structure, the whole ``SRC-*``
+verification family applies unchanged — the HIP source is re-parsed and
+cross-checked against the same IR the CUDA and OpenCL twins carry.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.cuda import CudaSource, generate_kernel, verify_or_raise
+from repro.kernels.symmetric import SymmetricKernelPlan
+
+#: The one line that makes the CUDA-dialect text a self-contained HIP
+#: translation unit under hipcc.
+HIP_PROLOGUE = "#include <hip/hip_runtime.h>\n"
+
+
+def generate_hip_kernel(
+    plan: SymmetricKernelPlan, *, verify: bool = True
+) -> CudaSource:
+    """Emit the HIP C++ translation unit for ``plan``.
+
+    Returns a :class:`CudaSource` (the ``text`` is HIP C++, the name
+    gains a ``_hip`` suffix, and the record carries the access-plan IR
+    all three backends share).  Unless ``verify=False`` the output is
+    cross-checked against the IR like every other backend's.
+    """
+    cuda = generate_kernel(plan, verify=verify)
+    prologue = (
+        f"// HIP rendering of {cuda.name} (see the CUDA twin for commentary).\n"
+        + HIP_PROLOGUE
+    )
+    src = CudaSource(
+        name=cuda.name + "_hip",
+        text=prologue + cuda.text,
+        launch_bounds=cuda.launch_bounds,
+        backend="hip",
+        ir=cuda.ir,
+    )
+    if verify:
+        verify_or_raise(src)
+    return src

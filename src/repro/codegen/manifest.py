@@ -1,0 +1,92 @@
+"""The golden-digest manifest: codegen determinism, pinned byte-for-byte.
+
+Every backend's emitter is a deterministic function of
+(stencil, blocking configuration, dtype, variant) — the tests have always
+asserted that for single plans, but nothing pinned the *output* against
+accidental drift (a dict-ordering change, a float-formatting change, an
+unintended rewrite).  This module enumerates a representative generation
+matrix — every loading variant of both families ⨯ low/high order ⨯
+sp/dp ⨯ all three backends — and hashes each emitted translation unit;
+``tests/data/codegen_digests.json`` is the checked-in manifest and
+``tools/regen_codegen_digests.py`` the regeneration helper for
+*intentional* codegen changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.codegen.cuda import CudaSource, generate_kernel
+from repro.codegen.hip import generate_hip_kernel
+from repro.codegen.opencl import generate_opencl_kernel
+from repro.kernels.config import BlockConfig
+from repro.kernels.inplane import INPLANE_VARIANTS, InPlaneKernel
+from repro.kernels.nvstencil import NvStencilKernel
+from repro.kernels.symmetric import SymmetricKernelPlan
+from repro.stencils.spec import symmetric
+
+#: Checked-in digest manifest (repo-relative; this is a source checkout).
+MANIFEST_PATH = Path(__file__).resolve().parents[3] / "tests" / "data" / "codegen_digests.json"
+
+#: The generation matrix: every variant of both families at a low and a
+#: high order, both precisions, one representative register-tiled block.
+MATRIX_ORDERS: tuple[int, ...] = (2, 8)
+MATRIX_DTYPES: tuple[str, ...] = ("sp", "dp")
+MATRIX_BLOCK: tuple[int, int, int, int] = (32, 4, 2, 2)
+
+BACKENDS: tuple[str, ...] = ("cuda", "opencl", "hip")
+
+_EMITTERS: dict[str, Callable[..., CudaSource]] = {
+    "cuda": generate_kernel,
+    "opencl": generate_opencl_kernel,
+    "hip": generate_hip_kernel,
+}
+
+
+def generate_backend(
+    plan: SymmetricKernelPlan, backend: str, *, verify: bool = True
+) -> CudaSource:
+    """Emit ``plan`` for one named backend (``cuda``/``opencl``/``hip``)."""
+    try:
+        emit = _EMITTERS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown codegen backend {backend!r}; pick one of {BACKENDS}"
+        ) from None
+    return emit(plan, verify=verify)
+
+
+def _plans() -> Iterator[tuple[str, SymmetricKernelPlan]]:
+    block = BlockConfig(*MATRIX_BLOCK)
+    config = "x".join(str(v) for v in MATRIX_BLOCK)
+    for order in MATRIX_ORDERS:
+        for dtype in MATRIX_DTYPES:
+            for variant in INPLANE_VARIANTS:
+                yield (
+                    f"inplane.{variant}:o{order}:{dtype}:{config}",
+                    InPlaneKernel(symmetric(order), block, dtype, variant=variant),
+                )
+            yield (
+                f"nvstencil.forward:o{order}:{dtype}:{config}",
+                NvStencilKernel(symmetric(order), block, dtype),
+            )
+
+
+def manifest_matrix() -> list[tuple[str, SymmetricKernelPlan, str]]:
+    """All (key, plan, backend) cells of the pinned generation matrix."""
+    return [
+        (f"{plan_key}:{backend}", plan, backend)
+        for plan_key, plan in _plans()
+        for backend in BACKENDS
+    ]
+
+
+def digest_matrix() -> dict[str, str]:
+    """SHA-256 of every emitted translation unit, keyed by matrix cell."""
+    digests: dict[str, str] = {}
+    for key, plan, backend in manifest_matrix():
+        src = generate_backend(plan, backend)
+        digests[key] = hashlib.sha256(src.text.encode("utf-8")).hexdigest()
+    return digests

@@ -29,10 +29,17 @@ from __future__ import annotations
 
 import re
 
-from repro.codegen.cuda import CudaSource, generate_kernel
+from repro.codegen.cuda import CudaSource, generate_kernel, verify_or_raise
 from repro.kernels.symmetric import SymmetricKernelPlan
 
 #: Ordered textual rewrites from the CUDA dialect to OpenCL.
+#:
+#: The vector-cast rewrite accepts a width-1 (bare ``float``/``double``)
+#: cast too: a plan whose alignment analysis degrades to scalar loads
+#: still emits ``reinterpret_cast<const float*>`` in the merged-load
+#: body, and an unmatched cast would leak a CUDA-ism into the OpenCL
+#: output.  The ``SRC-DIALECT`` verification below is the guard that a
+#: future gap of this kind cannot ship silently.
 _REWRITES: tuple[tuple[str, str], ...] = (
     (r'extern "C" __global__\n__launch_bounds__\(THREADS\)\nvoid ', "KERNEL_QUALIFIERS void "),
     (r"__shared__ ", "__local "),
@@ -43,7 +50,7 @@ _REWRITES: tuple[tuple[str, str], ...] = (
     (r"blockIdx\.y", "get_group_id(1)"),
     (r"__device__ __forceinline__ ", "inline "),
     (r"__restrict__", "restrict"),
-    (r"reinterpret_cast<const (float|double)([24])\*>\(\s*&", r"(const __global \1\2*)(&"),
+    (r"reinterpret_cast<const (float|double)([24]?)\*>\(\s*&", r"(const __global \1\2*)(&"),
     (r"\)\);\n(\s*store_vec)", "));\n\\1"),
     (r"const (float|double)\* restrict in", r"const __global \1* restrict in"),
     (r"(float|double)\* restrict out", r"__global \1* restrict out"),
@@ -51,13 +58,21 @@ _REWRITES: tuple[tuple[str, str], ...] = (
 )
 
 
-def generate_opencl_kernel(plan: SymmetricKernelPlan) -> CudaSource:
+def generate_opencl_kernel(
+    plan: SymmetricKernelPlan, *, verify: bool = True
+) -> CudaSource:
     """Emit the OpenCL C translation unit for ``plan``.
 
     Returns a :class:`CudaSource` (same record type; the ``text`` is
-    OpenCL C and the name gains a ``_cl`` suffix).
+    OpenCL C, the name gains a ``_cl`` suffix, and the record carries the
+    same access-plan IR the CUDA twin was lowered from).  Because this
+    backend is a regex *derivation* rather than a direct emission, its
+    own structural verification matters most: unless ``verify=False``,
+    the rewritten text is re-parsed and cross-checked against the IR —
+    delimiter balance, surviving CUDA-isms, barrier counts, vector
+    widths — and a translation gap refuses to ship.
     """
-    cuda = generate_kernel(plan)
+    cuda = generate_kernel(plan, verify=verify)
     text = cuda.text
 
     for pattern, repl in _REWRITES:
@@ -78,8 +93,13 @@ def generate_opencl_kernel(plan: SymmetricKernelPlan) -> CudaSource:
     if plan.elem_bytes == 8:
         prologue += "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n"
 
-    return CudaSource(
+    src = CudaSource(
         name=cuda.name + "_cl",
         text=prologue + text,
         launch_bounds=cuda.launch_bounds,
+        backend="opencl",
+        ir=cuda.ir,
     )
+    if verify:
+        verify_or_raise(src)
+    return src

@@ -1,0 +1,90 @@
+"""Golden-hash determinism: every backend's output is pinned byte-for-byte.
+
+``tests/data/codegen_digests.json`` holds the SHA-256 of every cell in
+the representative generation matrix (both families' variants ⨯ low/high
+order ⨯ sp/dp ⨯ all three backends).  Any unintentional drift in any
+emitter — rewrite order, float formatting, header layout — fails here;
+intentional changes regenerate the manifest with
+``tools/regen_codegen_digests.py`` and commit it with the diff.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.codegen.manifest import (
+    BACKENDS,
+    MANIFEST_PATH,
+    MATRIX_DTYPES,
+    MATRIX_ORDERS,
+    digest_matrix,
+    generate_backend,
+    manifest_matrix,
+)
+from repro.kernels.config import BlockConfig
+from repro.kernels.inplane import INPLANE_VARIANTS, InPlaneKernel
+from repro.stencils.spec import symmetric
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    assert MANIFEST_PATH.exists(), (
+        f"{MANIFEST_PATH} missing — run tools/regen_codegen_digests.py"
+    )
+    return json.loads(MANIFEST_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return digest_matrix()
+
+
+class TestMatrixShape:
+    def test_every_family_variant_and_backend_covered(self, manifest):
+        families = len(INPLANE_VARIANTS) + 1  # + nvstencil.forward
+        expected = (
+            families * len(MATRIX_ORDERS) * len(MATRIX_DTYPES) * len(BACKENDS)
+        )
+        assert len(manifest) == expected
+        for backend in BACKENDS:
+            assert any(key.endswith(f":{backend}") for key in manifest)
+        for variant in INPLANE_VARIANTS:
+            assert any(key.startswith(f"inplane.{variant}:") for key in manifest)
+        assert any(key.startswith("nvstencil.forward:") for key in manifest)
+
+    def test_matrix_keys_match_manifest_keys(self, manifest, current):
+        assert set(current) == set(manifest)
+
+
+class TestGoldenDigests:
+    def test_all_cells_match_checked_in_digests(self, manifest, current):
+        drifted = sorted(
+            key for key in manifest if manifest[key] != current[key]
+        )
+        assert not drifted, (
+            "emitted source drifted from the golden manifest for "
+            f"{drifted}; if intentional, run tools/regen_codegen_digests.py"
+        )
+
+
+class TestByteDeterminism:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_repeated_generation_is_byte_identical(self, backend):
+        plan = InPlaneKernel(
+            symmetric(8), BlockConfig(32, 4, 2, 2), "dp", variant="fullslice"
+        )
+        a = generate_backend(plan, backend).text
+        b = generate_backend(plan, backend).text
+        assert a == b
+
+    def test_digest_covers_full_text(self):
+        key, plan, backend = manifest_matrix()[0]
+        src = generate_backend(plan, backend)
+        digest = hashlib.sha256(src.text.encode("utf-8")).hexdigest()
+        assert digest == digest_matrix()[key]
+
+    def test_unknown_backend_rejected(self):
+        plan = InPlaneKernel(symmetric(2), BlockConfig(32, 4))
+        with pytest.raises(ValueError):
+            generate_backend(plan, "sycl")

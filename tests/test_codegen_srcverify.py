@@ -1,0 +1,229 @@
+"""Emitted-source verifier tests: the SRC-* family catches what it claims.
+
+Strategy: every healthy emission must verify clean on all three backends,
+and each rule must fire on a *surgically tampered* source — the kind of
+divergence a real codegen bug would produce (wrong constant, dropped
+barrier, wider-than-legal vector cast, surviving CUDA-ism after the
+OpenCL regex translation).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import analyze_emitted, catalog
+from repro.analysis.diagnostics import Severity
+from repro.analysis.srcverify import (
+    delimiters_balanced,
+    strip_comments,
+    verify_emitted,
+)
+from repro.codegen import (
+    generate_hip_kernel,
+    generate_kernel,
+    generate_opencl_kernel,
+    verify_or_raise,
+)
+from repro.errors import ConfigurationError
+from repro.kernels.config import BlockConfig
+from repro.kernels.inplane import INPLANE_VARIANTS, InPlaneKernel
+from repro.kernels.nvstencil import NvStencilKernel
+from repro.stencils.spec import symmetric
+
+ALL_EMITTERS = (generate_kernel, generate_opencl_kernel, generate_hip_kernel)
+
+
+def make(variant="fullslice", order=4, block=(32, 4, 2, 2), dtype="sp"):
+    return InPlaneKernel(symmetric(order), BlockConfig(*block), dtype, variant=variant)
+
+
+def tampered(src, old, new):
+    assert old in src.text, f"tamper target {old!r} not in source"
+    return dataclasses.replace(src, text=src.text.replace(old, new))
+
+
+def rule_ids(diags):
+    return {d.rule for d in diags}
+
+
+class TestCatalog:
+    def test_src_family_registered_and_catalog_grew(self):
+        rules = catalog()
+        src_rules = {rid for rid in rules if rid.startswith("SRC-")}
+        assert src_rules == {
+            "SRC-DELIM", "SRC-TILE-DIM", "SRC-BARRIER", "SRC-VEC",
+            "SRC-LAUNCH-BOUNDS", "SRC-QUEUE", "SRC-DIALECT", "SRC-ESTIMATE",
+        }
+        assert len(rules) >= 40
+        assert rules["SRC-ESTIMATE"].severity == Severity.WARNING
+        assert rules["SRC-DIALECT"].severity == Severity.ERROR
+
+
+class TestHealthySources:
+    @pytest.mark.parametrize("emit", ALL_EMITTERS, ids=lambda e: e.__name__)
+    @pytest.mark.parametrize("variant", INPLANE_VARIANTS)
+    def test_all_variants_verify_clean(self, emit, variant):
+        src = emit(make(variant))
+        assert verify_emitted(src) == []
+
+    @pytest.mark.parametrize("emit", ALL_EMITTERS, ids=lambda e: e.__name__)
+    def test_nvstencil_verifies_clean(self, emit):
+        src = emit(NvStencilKernel(symmetric(8), BlockConfig(32, 8), "dp"))
+        assert verify_emitted(src) == []
+
+    def test_emitters_self_verify_by_default(self):
+        # verify=True is the default: a clean plan simply generates.
+        for emit in ALL_EMITTERS:
+            emit(make(), verify=True)
+
+    def test_analyze_emitted_report(self):
+        report = analyze_emitted(generate_kernel(make()))
+        assert report.ok
+        assert report.diagnostics == []
+
+
+class TestTamperDetection:
+    def test_wrong_constant_fires_tile_dim(self):
+        src = generate_kernel(make(order=4))
+        bad = tampered(src, "#define RADIUS 2", "#define RADIUS 3")
+        assert "SRC-TILE-DIM" in rule_ids(verify_emitted(bad))
+
+    def test_missing_tile_decl_fires_tile_dim(self):
+        src = generate_kernel(make())
+        bad = tampered(
+            src,
+            "tile[TILE_Y + 2 * RADIUS][TILE_PITCH]",
+            "tile[TILE_Y + 2 * RADIUS][TILE_PITCH + 1]",
+        )
+        assert "SRC-TILE-DIM" in rule_ids(verify_emitted(bad))
+
+    def test_dropped_barrier_fires_barrier(self):
+        src = generate_kernel(make())
+        bad = dataclasses.replace(
+            src, text=src.text.replace("__syncthreads();", "", 1)
+        )
+        assert "SRC-BARRIER" in rule_ids(verify_emitted(bad))
+
+    def test_dropped_barrier_opencl(self):
+        src = generate_opencl_kernel(make())
+        bad = dataclasses.replace(
+            src, text=src.text.replace("barrier(CLK_LOCAL_MEM_FENCE);", "", 1)
+        )
+        assert "SRC-BARRIER" in rule_ids(verify_emitted(bad))
+
+    def test_wider_vector_cast_fires_vec(self):
+        # order 2 sp fullslice emits float2 loads; widening to float4
+        # breaks the alignment guarantee the IR proved.
+        src = generate_kernel(make(order=2, block=(32, 4, 1, 1)))
+        assert src.ir.vector_width == 2
+        bad = tampered(
+            src, "reinterpret_cast<const float2*>",
+            "reinterpret_cast<const float4*>",
+        )
+        assert "SRC-VEC" in rule_ids(verify_emitted(bad))
+
+    def test_narrower_vector_cast_fires_vec(self):
+        # order 8 sp fullslice proves float4 legal; a narrowed cast means
+        # the emitted loads no longer match the IR's priced decomposition.
+        src = generate_kernel(make(order=8, block=(32, 4, 1, 1)))
+        assert src.ir.vector_width == 4
+        bad = tampered(
+            src, "reinterpret_cast<const float4*>",
+            "reinterpret_cast<const float2*>",
+        )
+        assert "SRC-VEC" in rule_ids(verify_emitted(bad))
+
+    def test_missing_launch_bounds_fires(self):
+        src = generate_kernel(make())
+        bad = tampered(src, "__launch_bounds__(THREADS)\n", "")
+        assert "SRC-LAUNCH-BOUNDS" in rule_ids(verify_emitted(bad))
+
+    def test_wrong_zcol_depth_fires_queue(self):
+        src = generate_kernel(make(order=8))  # r=4
+        bad = tampered(src, "zcol[RY][RX][4]", "zcol[RY][RX][9]")
+        assert "SRC-QUEUE" in rule_ids(verify_emitted(bad))
+
+    def test_missing_partial_sum_queue_fires_queue(self):
+        src = generate_kernel(make())
+        bad = tampered(src, "queue[RY][RX][RADIUS]", "queue_[RY][RX][RADIUS]")
+        assert "SRC-QUEUE" in rule_ids(verify_emitted(bad))
+
+    def test_unbalanced_delimiters_fire_delim(self):
+        src = generate_kernel(make())
+        bad = dataclasses.replace(src, text=src.text.rstrip()[:-1])
+        assert "SRC-DELIM" in rule_ids(verify_emitted(bad))
+
+    def test_missing_header_is_a_warning(self):
+        src = generate_kernel(make())
+        line = next(
+            ln for ln in src.text.splitlines()
+            if ln.startswith("// repro.estimate:")
+        )
+        bad = tampered(src, line + "\n", "")
+        diags = verify_emitted(bad)
+        assert rule_ids(diags) == {"SRC-ESTIMATE"}
+        assert all(d.severity == Severity.WARNING for d in diags)
+        # Warnings do not refuse shipment.
+        verify_or_raise(bad)
+
+    def test_verify_or_raise_names_the_rule(self):
+        src = generate_kernel(make())
+        bad = tampered(src, "#define BLOCK_X 32", "#define BLOCK_X 64")
+        with pytest.raises(ConfigurationError) as exc:
+            verify_or_raise(bad)
+        assert exc.value.rule == "SRC-TILE-DIM"
+
+    def test_suppress_silences_a_rule(self):
+        src = generate_kernel(make())
+        bad = tampered(src, "#define RY 2", "#define RY 3")
+        report = analyze_emitted(bad, suppress=("SRC-TILE-DIM",))
+        assert report.ok
+
+
+class TestOpenCLTranslation:
+    """Satellite: the regex-derived backend gets its own verification."""
+
+    def test_surviving_cudaism_fires_dialect(self):
+        src = generate_opencl_kernel(make())
+        bad = dataclasses.replace(
+            src,
+            text=src.text.replace(
+                "barrier(CLK_LOCAL_MEM_FENCE);", "__syncthreads();", 1
+            ),
+        )
+        ids = rule_ids(verify_emitted(bad))
+        assert "SRC-DIALECT" in ids
+        assert "SRC-BARRIER" in ids  # the barrier count dropped too
+
+    def test_untranslated_unit_fails_wholesale(self):
+        # Feed the raw CUDA text through the OpenCL checks: the verifier
+        # must reject it as an incomplete translation, which is exactly
+        # the failure mode a regex-rewrite gap would produce.
+        cuda = generate_kernel(make())
+        fake = dataclasses.replace(cuda, backend="opencl")
+        ids = rule_ids(verify_emitted(fake))
+        assert "SRC-DIALECT" in ids
+
+    def test_width1_casts_are_translated(self):
+        # The rewrite accepts bare float/double casts too: no
+        # reinterpret_cast may survive for any variant or dtype.
+        for variant in INPLANE_VARIANTS:
+            for dtype in ("sp", "dp"):
+                src = generate_opencl_kernel(make(variant, dtype=dtype))
+                assert "reinterpret_cast" not in src.text
+
+    def test_hip_requires_runtime_header(self):
+        src = generate_hip_kernel(make())
+        bad = tampered(src, "#include <hip/hip_runtime.h>\n", "")
+        assert "SRC-DIALECT" in rule_ids(verify_emitted(bad))
+
+
+class TestHelpers:
+    def test_strip_comments_removes_header_json(self):
+        src = generate_kernel(make())
+        assert "repro.estimate" not in strip_comments(src.text)
+
+    def test_delimiters_balanced_on_stripped_code(self):
+        src = generate_opencl_kernel(make())
+        assert delimiters_balanced(strip_comments(src.text))
+        assert not delimiters_balanced("int f() { return (1; }")

@@ -22,7 +22,13 @@ Runs, in order:
    ``--jobs 2`` with ``REPRO_JOBS_CAP=2`` so a real worker pool forks
    even on a one-core container: stdout must match byte for byte —
    the determinism contract of ``docs/TUNING.md``)
-7. the tier-1 test suite (``pytest tests/``)
+7. the estimator-reconciliation gate (``repro estimate --reconcile``:
+   every ``BENCH_profile.json`` record's plan is lowered to its
+   access-plan IR, the codegen-time estimate is compared bit-for-bit
+   against the resimulated hardware counters, and every distinct
+   plan's CUDA/OpenCL/HIP sources are re-parsed and verified against
+   the IR — any IR↔source or estimator↔counters mismatch fails)
+8. the tier-1 test suite (``pytest tests/``)
 
 Static tools that are not installed are reported as *skipped* and do not
 fail the gate — the container bakes in the runtime toolchain but not
@@ -145,6 +151,15 @@ def main() -> int:
         ),
         "fault-smoke": fault_smoke(env),
         "parallel-smoke": parallel_smoke(env),
+        "estimate-reconcile": run(
+            "estimate-reconcile",
+            [
+                sys.executable, "-m", "repro.cli", "-q", "estimate",
+                "--reconcile", "--baseline", "BENCH_profile.json",
+            ],
+            required=True,
+            env=env,
+        ),
         "pytest": run(
             "pytest",
             [sys.executable, "-m", "pytest", "tests", "-q"],

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Regenerate the golden codegen-digest manifest.
+
+``tests/data/codegen_digests.json`` pins the SHA-256 of every translation
+unit in the representative generation matrix (see
+:mod:`repro.codegen.manifest`) so an *unintentional* change to any
+emitter — a rewrite-order tweak, a float-formatting drift, a header
+reshuffle — fails ``tests/test_codegen_determinism.py`` loudly.
+
+When a codegen change is intentional, run this helper and commit the
+updated manifest together with the change:
+
+    PYTHONPATH=src python tools/regen_codegen_digests.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.codegen.manifest import MANIFEST_PATH, digest_matrix  # noqa: E402
+
+
+def main() -> int:
+    digests = digest_matrix()
+    MANIFEST_PATH.parent.mkdir(parents=True, exist_ok=True)
+    old = (
+        json.loads(MANIFEST_PATH.read_text()) if MANIFEST_PATH.exists() else {}
+    )
+    changed = sorted(
+        key for key in set(old) | set(digests)
+        if old.get(key) != digests.get(key)
+    )
+    MANIFEST_PATH.write_text(json.dumps(digests, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {MANIFEST_PATH} ({len(digests)} cells, {len(changed)} changed)")
+    for key in changed:
+        print(f"  changed: {key}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
