@@ -12,7 +12,10 @@ Usage::
                [--trace trace.json]
     repro tune --method auto --faults 'seed=7,launch=0.1,hang=0.02' \
                --journal tune.journal [--resume] [--retries 3] \
-               [--watchdog 1e9] [--budget 30] [--seed 0]
+               [--watchdog 1e9] [--budget 30] [--seed 0] \
+               [--events tune.events] [--metrics-out tune.prom]
+    repro top --journal tune.journal [--events tune.events] \
+              [--json] [--once] [--interval 1.0]
     repro profile --kernel inplane_fullslice --order 4 --device gtx580 \
                   [--trace-out trace.json] [--json] [--top 8]
     repro profile --compare --order 4 --block 32,4,1,2
@@ -46,6 +49,13 @@ moved.
 journal.  Its exit codes are stable: 0 success, 1 tuning failed (every
 tier exhausted or all configs quarantined), 2 bad ``--faults`` spec or
 unusable journal (missing, corrupt, or from a different session).
+``--events`` streams the session's structured events
+(:mod:`repro.obs.events`) to a JSONL file — byte-identical at any
+``--jobs`` — and ``repro top`` follows that stream plus the journal
+live (or ``--json`` for scripts; exit 1 when the watched session
+crashed).  ``--metrics-out`` on ``tune`` and ``profile`` exports the
+run's metrics registry in Prometheus text exposition (``.prom`` /
+``.txt``) or OTLP-style JSON (:mod:`repro.obs.export`).
 
 Output conventions: primary and machine-readable results go to stdout
 (``--json`` modes stay pipe-clean); diagnostics ("wrote ...", progress)
@@ -108,14 +118,41 @@ def _cmd_list_kernels(_args: argparse.Namespace) -> int:
 
 
 def _maybe_tracing(args: argparse.Namespace):
-    """An active tracer context when ``--trace`` was given, inert otherwise."""
+    """An active tracer context when ``--trace`` (or ``--metrics-out``,
+    which needs a live metrics registry) was given, inert otherwise."""
     from contextlib import nullcontext
 
     from repro.obs import tracing
 
-    if getattr(args, "trace", None):
+    if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
         return tracing()
     return nullcontext(None)
+
+
+def _maybe_events(args: argparse.Namespace):
+    """An installed JSONL event sink when ``--events`` was given.
+
+    Only used on the *plain* tune paths; the resilient session wires its
+    own sink (tee'd with the flight recorder) from ``events_path``.
+    """
+    from contextlib import contextmanager, nullcontext
+
+    path = getattr(args, "events", None)
+    if not path:
+        return nullcontext(None)
+
+    from repro.obs.events import JsonlEventSink, event_stream
+
+    @contextmanager
+    def _stream():
+        sink = JsonlEventSink(path)
+        try:
+            with event_stream(sink):
+                yield sink
+        finally:
+            sink.close()
+
+    return _stream()
 
 
 def _finish_trace(tracer, path: str | None) -> None:
@@ -126,6 +163,18 @@ def _finish_trace(tracer, path: str | None) -> None:
 
     write_chrome_trace(tracer, path)
     log.info("wrote trace %s (open in https://ui.perfetto.dev)", path)
+
+
+def _finish_metrics(tracer, path: str | None) -> None:
+    """Export the tracer's metrics registry (if requested) and log it."""
+    if tracer is None or not path:
+        return
+    from repro.obs.export import write_metrics
+
+    out = Path(path)
+    fmt = "prometheus" if out.suffix in (".prom", ".txt") else "otlp-json"
+    write_metrics(tracer.metrics, out)
+    log.info("wrote metrics %s (%s)", out, fmt)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -170,7 +219,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         or args.method in ("stochastic", "auto")
     )
     if not robust:
-        with _maybe_tracing(args) as tracer:
+        with _maybe_tracing(args) as tracer, _maybe_events(args):
             if args.jobs:
                 # Parallel batch engine: the tuners detect the
                 # batch-capable evaluator and hand it the whole config
@@ -216,6 +265,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         print(result.summary())
         _print_tune_entries(result)
         _finish_trace(tracer, args.trace)
+        _finish_metrics(tracer, args.metrics_out)
         return EXIT_TUNE_OK
 
     from repro.errors import ConfigurationError, JournalError, TuningError
@@ -253,6 +303,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             session_key=session_key,
             watchdog_cycles=args.watchdog,
             jobs=args.jobs,
+            events_path=args.events,
         )
         with _maybe_tracing(args) as tracer:
             sres = session.run(
@@ -277,6 +328,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         stats.get("retries", 0), stats.get("quarantined_configs", 0),
     )
     _finish_trace(tracer, args.trace)
+    _finish_metrics(tracer, args.metrics_out)
     return EXIT_TUNE_OK
 
 
@@ -481,6 +533,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         log.info(
             "wrote trace %s (open in https://ui.perfetto.dev)", args.trace_out
         )
+    _finish_metrics(tracer, args.metrics_out)
     failures = reconcile_failures(tracer)
     for failure in failures:
         log.error("reconciliation failure: %s", failure)
@@ -534,6 +587,55 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     else:
         print(report.render(verbose=args.verbose > 0))
     return report.exit_code()
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live view of a tuning session from its on-disk artifacts.
+
+    A pure reader: it tails the crash-safe journal and/or the structured
+    event stream (both torn-line tolerant, so tailing a *running*
+    session is safe) and renders a refreshing panel.  ``--json`` prints
+    one machine-readable snapshot instead — the trial/retry/quarantine
+    counts are journal-authoritative, i.e. exactly what a ``--resume``
+    of that session would replay.  Exits 1 when the watched session
+    recorded a crash, 0 otherwise.
+    """
+    import json
+
+    from repro.obs.live import (
+        follow_session,
+        render_snapshot,
+        snapshot_session,
+    )
+
+    if not args.journal and not args.events:
+        log.error("repro top needs --journal and/or --events")
+        return 2
+    if args.json:
+        snap = snapshot_session(args.journal, args.events)
+        print(json.dumps(snap.to_obj(), indent=1, sort_keys=True))
+        return 1 if snap.crashed else 0
+    if args.once or not sys.stdout.isatty():
+        snap = snapshot_session(args.journal, args.events)
+        print(render_snapshot(snap))
+        return 1 if snap.crashed else 0
+
+    def redraw(panel: str) -> None:
+        # Home + clear-to-end keeps the panel in place without the
+        # full-screen flash a clear-screen-per-refresh would cause.
+        sys.stdout.write("\x1b[H\x1b[J" + panel + "\n")
+        sys.stdout.flush()
+
+    last = None
+    try:
+        for last in follow_session(
+            args.journal, args.events,
+            interval_s=args.interval, refreshes=args.refreshes, emit=redraw,
+        ):
+            pass
+    except KeyboardInterrupt:
+        pass
+    return 1 if last is not None and last.crashed else 0
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
@@ -635,7 +737,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="measure trials on N worker processes (clamped "
                            "to the core count); the winner is bit-identical "
                            "at any N")
+    tune.add_argument("--events", metavar="PATH",
+                      help="stream structured events (repro.obs.events "
+                           "JSONL) here; byte-identical at any --jobs, "
+                           "tailed live by 'repro top --events'")
+    tune.add_argument("--metrics-out", metavar="PATH",
+                      help="export the run's metrics registry here "
+                           "(.prom/.txt: Prometheus exposition; else "
+                           "OTLP-style JSON)")
     tune.set_defaults(func=_cmd_tune)
+
+    top = sub.add_parser(
+        "top", help="live view of a (running) tuning session's artifacts"
+    )
+    top.add_argument("--journal", metavar="PATH",
+                     help="the session's crash-safe trial journal "
+                          "(authoritative trial/retry counts)")
+    top.add_argument("--events", metavar="PATH",
+                     help="the session's structured event stream "
+                          "(tier/sweep/replay state)")
+    top.add_argument("--json", action="store_true",
+                     help="print one machine-readable snapshot and exit")
+    top.add_argument("--once", action="store_true",
+                     help="render one panel and exit (implied when stdout "
+                          "is not a tty)")
+    top.add_argument("--interval", type=float, default=1.0, metavar="S",
+                     help="refresh period in seconds (default 1.0)")
+    top.add_argument("--refreshes", type=int, metavar="N",
+                     help="stop after N refreshes even if the session is "
+                          "still running (default: until finish/crash)")
+    top.set_defaults(func=_cmd_top)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=(*_EXPERIMENTS, "all"))
@@ -741,6 +872,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="machine-readable telemetry on stdout")
     prof.add_argument("--top", type=int, default=5, metavar="N",
                       help="hot planes listed in the summary (default 5)")
+    prof.add_argument("--metrics-out", metavar="PATH",
+                      help="export the profiler's metrics registry here "
+                           "(.prom/.txt: Prometheus exposition; else "
+                           "OTLP-style JSON)")
     prof.set_defaults(func=_cmd_profile)
 
     bench = sub.add_parser(

@@ -38,6 +38,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.events import emit as emit_fault_event
 
 #: Fault-taxonomy kind names (also the ``sim.fault.<kind>`` metric suffixes).
 KIND_LAUNCH_FAILURE = "launch_failure"
@@ -288,11 +289,18 @@ class FaultPlan:
 
 
 def observe_fault(tracer: Any, event: FaultEvent, **args: Any) -> None:
-    """Surface one injected fault in the obs layer (instant + counter).
+    """Surface one injected fault in the obs layer (instant + counter),
+    and re-emit it as a first-class ``fault.injected`` event.
 
     ``tracer`` is a :class:`repro.obs.tracer.Tracer` or ``None`` (no-op);
-    typed as ``Any`` to keep this module import-light.
+    typed as ``Any`` to keep this module import-light.  The event fires
+    independently of the tracer, so a storm session's event stream is
+    complete without tracing enabled — except during tuning measurement,
+    where emission is suppressed and the search loop derives
+    ``fault.observed`` events from the finished outcome instead
+    (:func:`repro.tuning.evaluator.emit_trial_events`).
     """
+    emit_fault_event("fault.injected", kind=event.kind, index=event.index)
     if tracer is None:
         return
     from repro.obs.schema import CAT_SIM_FAULT

@@ -10,7 +10,10 @@ bench-telemetry exporters (:mod:`repro.obs.chrome`,
 :mod:`repro.obs.telemetry`), the perf-regression sentinel behind
 ``repro bench diff`` (:mod:`repro.obs.regress`), a text flame/summary
 report (:mod:`repro.obs.summary`), and the trace schema + validator the
-whole stack shares (:mod:`repro.obs.schema`).
+whole stack shares (:mod:`repro.obs.schema`).  The *live* telemetry
+plane is :mod:`repro.obs.events` (schema-versioned structured event
+stream + flight recorder, tailed by ``repro top``) with metrics export
+to Prometheus/OTLP in :mod:`repro.obs.export`.
 
 Tracing is disabled unless a :class:`Tracer` is installed with
 :func:`tracing`; instrumentation points cost one contextvar lookup when
@@ -18,6 +21,34 @@ off.  See ``docs/OBSERVABILITY.md`` for the event taxonomy and how to
 open exported traces in Perfetto.
 """
 
+from repro.obs.events import (
+    EVENT_CATALOG,
+    EVENTS_SCHEMA_VERSION,
+    Event,
+    EventSchemaError,
+    EventSink,
+    EventSpec,
+    FlightRecorder,
+    JsonlEventSink,
+    MemoryEventSink,
+    TeeEventSink,
+    current_sink,
+    disable_events_in_process,
+    emit,
+    event_stream,
+    read_events,
+    suppress_events,
+    validate_event,
+    validate_stream,
+)
+from repro.obs.export import (
+    SERVICE_GAUGES,
+    ExportFormatError,
+    lint_prometheus,
+    to_otlp_json,
+    to_prometheus,
+    write_metrics,
+)
 from repro.obs.attribution import (
     AttributionReport,
     Limiter,
@@ -98,4 +129,28 @@ __all__ = [
     "SCHEMA_VERSION",
     "TraceSchemaError",
     "validate_trace",
+    "EVENT_CATALOG",
+    "EVENTS_SCHEMA_VERSION",
+    "Event",
+    "EventSchemaError",
+    "EventSink",
+    "EventSpec",
+    "FlightRecorder",
+    "JsonlEventSink",
+    "MemoryEventSink",
+    "TeeEventSink",
+    "current_sink",
+    "disable_events_in_process",
+    "emit",
+    "event_stream",
+    "read_events",
+    "suppress_events",
+    "validate_event",
+    "validate_stream",
+    "SERVICE_GAUGES",
+    "ExportFormatError",
+    "lint_prometheus",
+    "to_otlp_json",
+    "to_prometheus",
+    "write_metrics",
 ]

@@ -1,0 +1,529 @@
+"""Structured event stream — the live telemetry plane of the tuner.
+
+The tracer (:mod:`repro.obs.tracer`) and the trial journal
+(:mod:`repro.tuning.robust`) are both *post-hoc*: spans become visible
+when a trace is exported, journal records when a session is resumed.
+This module adds the third plane — a schema-versioned stream of small
+structured events, appended (flushed + fsynced, like the journal) as a
+campaign runs, so long tuning sessions and the future ``repro serve``
+daemon can be observed *while* they run (``repro top`` tails it).
+
+Design contracts, in decreasing order of importance:
+
+1. **No-op by default.**  With no sink installed every emission point is
+   one :class:`~contextvars.ContextVar` lookup, mirroring the tracer's
+   disabled path (overhead pinned by
+   ``tests/test_obs_events.py::test_disabled_overhead``).  ``faults=None``
+   plus no sink means zero perturbation of any simulated number —
+   ``repro bench diff`` stays bit-identical with the event layer merged.
+2. **Determinism.**  Events carry no wall-clock timestamps, pids or
+   worker identities — only a per-sink sequence number and payload
+   fields that are pure functions of the (seeded) campaign.  Trial-plane
+   events are derived from completed
+   :class:`~repro.tuning.evaluator.TrialOutcome` records and emitted by
+   the search loops **in input order**, never live from worker
+   processes, so the stream file of a ``--jobs 4`` storm campaign is
+   byte-identical to the ``--jobs 1`` one — the same guarantee the
+   PR 5 journal gives, extended to telemetry.
+3. **Volatile events stay out of the stream.**  Engine-plane events
+   (pool lifecycle, worker chunk completions) are real telemetry but not
+   deterministic across job counts; the catalog marks them
+   ``volatile`` and the JSONL sink drops them by default.  The flight
+   recorder keeps them: crash forensics wants exactly that layer.
+
+The stream file is JSONL: line 1 is a header binding the stream to the
+schema version and session key; every further line is one event object
+with sorted keys.  A process killed mid-append leaves at most one torn
+final line, which :func:`read_events` tolerates.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+logger = logging.getLogger("repro.obs.events")
+
+#: Version stamped into stream headers and crash reports — bump on
+#: incompatible changes to the catalog or record layout.
+EVENTS_SCHEMA_VERSION = 1
+
+_STREAM_TOOL = "repro.obs.events"
+_FLIGHT_TOOL = "repro.obs.flight"
+
+
+class EventSchemaError(ValueError):
+    """An event (or a stream document) violates the catalog/schema."""
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One catalog entry: an event name and its contract.
+
+    ``volatile`` events describe engine internals (pool lifecycle,
+    worker chunks) that legitimately differ between job counts; they are
+    excluded from persistent streams by default so the stream keeps the
+    jobs-count byte-identity guarantee.  ``fields`` documents the
+    payload keys an emitter is expected to provide (extra keys are
+    allowed; the catalog is a floor, not a straitjacket).
+    """
+
+    name: str
+    doc: str
+    fields: tuple[str, ...] = ()
+    volatile: bool = False
+
+
+#: The event catalog (mirrored as a table in docs/OBSERVABILITY.md).
+EVENT_SPECS: tuple[EventSpec, ...] = (
+    # -- session plane (repro.tuning.robust) ------------------------------
+    EventSpec("session.start", "a resilient tuning session begins",
+              ("session", "method")),
+    EventSpec("session.tier_start", "one degradation-ladder tier begins",
+              ("tier",)),
+    EventSpec("session.tier_failed", "a tier produced no usable winner",
+              ("tier", "error")),
+    EventSpec("session.finished", "the session produced a winner",
+              ("method", "best_config", "best_mpoints")),
+    EventSpec("session.crash", "an unhandled error ended the session",
+              ("error",)),
+    # -- sweep plane (the three tuners) ------------------------------------
+    EventSpec("sweep.start", "one tuner invocation begins",
+              ("method", "device", "space_size")),
+    EventSpec("sweep.finished", "one tuner invocation completed",
+              ("method", "evaluated")),
+    # -- trial plane (derived from TrialOutcome, input order) --------------
+    EventSpec("trial.measured", "a configuration produced a usable rate",
+              ("config", "mpoints_per_s", "attempts")),
+    EventSpec("trial.rejected", "a configuration could not launch",
+              ("config", "reason")),
+    EventSpec("trial.quarantined", "retries exhausted; config excluded",
+              ("config", "attempts", "faults")),
+    EventSpec("trial.retried", "a trial needed more than one attempt",
+              ("config", "retries")),
+    EventSpec("trial.replayed", "a journaled outcome was reused, not re-run",
+              ("config", "status")),
+    # -- fault plane (repro.gpusim.faults) ---------------------------------
+    EventSpec("fault.injected", "one injected fault fired (live contexts)",
+              ("kind", "index")),
+    EventSpec("fault.observed", "a fault kind touched a finished trial",
+              ("config", "kind")),
+    # -- cache plane (repro.tuning.cache) ----------------------------------
+    EventSpec("cache.hit", "a tuning-cache lookup was served", ("key",)),
+    EventSpec("cache.miss", "a tuning-cache lookup found nothing", ("key",)),
+    EventSpec("cache.put", "a tuning result was persisted",
+              ("key", "entries")),
+    EventSpec("cache.merge", "concurrent writers' keys were adopted on put",
+              ("adopted",)),
+    # -- engine plane (repro.tuning.parallel; volatile) --------------------
+    EventSpec("pool.start", "a worker pool forked",
+              ("workers",), volatile=True),
+    EventSpec("pool.dispatch", "a batch was chunked across the pool",
+              ("tasks", "configs"), volatile=True),
+    EventSpec("pool.chunk", "one worker chunk completed",
+              ("worker", "configs"), volatile=True),
+    EventSpec("pool.stop", "the worker pool was torn down", (), volatile=True),
+)
+
+EVENT_CATALOG: dict[str, EventSpec] = {spec.name: spec for spec in EVENT_SPECS}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One emitted event: catalog name, per-sink sequence, payload.
+
+    Frozen — an event is a record, not a builder.  ``fields`` is kept as
+    a sorted tuple of pairs so events are hashable and their JSON form
+    (:meth:`to_obj`) is key-stable, which is what makes two streams of
+    the same campaign byte-comparable.
+    """
+
+    name: str
+    seq: int
+    fields: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def volatile(self) -> bool:
+        spec = EVENT_CATALOG.get(self.name)
+        return spec.volatile if spec is not None else False
+
+    def to_obj(self) -> dict[str, Any]:
+        obj: dict[str, Any] = {"event": self.name, "seq": self.seq}
+        obj.update(self.fields)
+        return obj
+
+    @classmethod
+    def from_obj(cls, obj: dict[str, Any]) -> "Event":
+        if "event" not in obj or "seq" not in obj:
+            raise EventSchemaError(
+                f"event record needs 'event' and 'seq' keys: {obj!r}"
+            )
+        payload = tuple(sorted(
+            (k, v) for k, v in obj.items() if k not in ("event", "seq")
+        ))
+        return cls(name=str(obj["event"]), seq=int(obj["seq"]), fields=payload)
+
+
+def validate_event(obj: Any, *, path: str = "$") -> Event:
+    """Validate one decoded stream record against the catalog.
+
+    Checks the required keys, that the name is catalogued, and that the
+    catalog's documented payload fields are present.  Returns the parsed
+    :class:`Event`; raises :class:`EventSchemaError` naming ``path``.
+    """
+    if not isinstance(obj, dict):
+        raise EventSchemaError(f"{path}: event must be an object, got {type(obj).__name__}")
+    event = Event.from_obj(obj)
+    spec = EVENT_CATALOG.get(event.name)
+    if spec is None:
+        raise EventSchemaError(f"{path}: unknown event {event.name!r}")
+    present = {k for k, _ in event.fields}
+    missing = [f for f in spec.fields if f not in present]
+    if missing:
+        raise EventSchemaError(
+            f"{path}: event {event.name!r} missing field(s) {missing}"
+        )
+    if event.seq < 0:
+        raise EventSchemaError(f"{path}: seq must be >= 0, got {event.seq}")
+    return event
+
+
+# -- sinks -------------------------------------------------------------------
+
+
+class EventSink:
+    """Base sink: assigns sequence numbers and filters volatile events.
+
+    Subclasses implement :meth:`write`; :meth:`emit` is the entry point
+    the instrumentation helpers call.  ``include_volatile`` decides
+    whether engine-plane events reach :meth:`write` (persistent streams
+    say no, the flight recorder says yes).
+    """
+
+    include_volatile = False
+
+    def __init__(self) -> None:
+        self._seq = 0
+
+    def emit(self, name: str, **fields: Any) -> Event | None:
+        spec = EVENT_CATALOG.get(name)
+        if spec is None:
+            raise EventSchemaError(f"cannot emit uncatalogued event {name!r}")
+        if spec.volatile and not self.include_volatile:
+            return None
+        event = Event(
+            name=name, seq=self._seq, fields=tuple(sorted(fields.items()))
+        )
+        self._seq += 1
+        self.write(event)
+        return event
+
+    def write(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (idempotent; default no-op)."""
+
+
+class MemoryEventSink(EventSink):
+    """In-memory sink (tests and programmatic consumers)."""
+
+    def __init__(self, *, include_volatile: bool = False) -> None:
+        super().__init__()
+        self.include_volatile = include_volatile
+        self.events: list[Event] = []
+
+    def write(self, event: Event) -> None:
+        self.events.append(event)
+
+
+class JsonlEventSink(EventSink):
+    """Append-only JSONL stream, flushed and fsynced per event.
+
+    Line 1 is a header binding the stream to the schema version and an
+    optional session key; each further line is one event with sorted
+    keys.  The write discipline matches the PR 4 journal: a killed
+    process leaves at most one torn final line, and everything before it
+    is durable.  Volatile events are dropped (see the module doc) unless
+    ``include_volatile`` is set — doing that forfeits the jobs-count
+    byte-identity of the file.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        session: str | None = None,
+        include_volatile: bool = False,
+    ) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.session = session
+        self.include_volatile = include_volatile
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header: dict[str, Any] = {
+            "stream": _STREAM_TOOL,
+            "version": EVENTS_SCHEMA_VERSION,
+        }
+        if session is not None:
+            header["session"] = session
+        self._fh = open(self.path, "w")
+        self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def write(self, event: Event) -> None:
+        self._fh.write(json.dumps(event.to_obj(), sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class TeeEventSink(EventSink):
+    """Fan one emission out to several sinks.
+
+    Each child keeps its own sequence counter and volatile filter, so a
+    persistent stream and a flight recorder can share the emission
+    points without sharing a policy.
+    """
+
+    #: The tee itself accepts everything; children filter individually.
+    include_volatile = True
+
+    def __init__(self, sinks: list[EventSink]) -> None:
+        super().__init__()
+        self.sinks = sinks
+
+    def emit(self, name: str, **fields: Any) -> Event | None:
+        last: Event | None = None
+        for sink in self.sinks:
+            out = sink.emit(name, **fields)
+            last = out if out is not None else last
+        return last
+
+    def write(self, event: Event) -> None:  # pragma: no cover - unused
+        raise NotImplementedError("TeeEventSink dispatches via emit()")
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class FlightRecorder(EventSink):
+    """Bounded ring buffer of recent events — the crash forensics plane.
+
+    Keeps the last ``capacity`` events (volatile ones included: pool
+    lifecycle is exactly what a hang post-mortem needs) and dumps them
+    as a JSON crash report on demand.  Wired through
+    :class:`repro.tuning.robust.RobustTuningSession`, which dumps on any
+    unhandled error escaping the campaign.
+    """
+
+    include_volatile = True
+
+    def __init__(self, capacity: int = 256) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.events: deque[Event] = deque(maxlen=capacity)
+
+    def write(self, event: Event) -> None:
+        self.events.append(event)
+
+    def dump(
+        self,
+        path: str | Path,
+        *,
+        reason: str,
+        error: BaseException | None = None,
+        session: str | None = None,
+        extra: dict[str, Any] | None = None,
+    ) -> Path:
+        """Write the crash report; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        report: dict[str, Any] = {
+            "report": _FLIGHT_TOOL,
+            "version": EVENTS_SCHEMA_VERSION,
+            "reason": reason,
+            "session": session,
+            "dropped": max(0, self._seq - len(self.events)),
+            "events": [e.to_obj() for e in self.events],
+        }
+        if error is not None:
+            report["error"] = {
+                "type": type(error).__name__,
+                "message": str(error),
+            }
+        if extra:
+            report["extra"] = extra
+        with open(path, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        logger.warning("wrote crash report %s (%s)", path, reason)
+        return path
+
+
+# -- the contextvar plumbing -------------------------------------------------
+
+#: The contextvar every emission point consults.  ``None`` (the default)
+#: means the event layer is off and the hook is one lookup + branch.
+_ACTIVE: ContextVar[EventSink | None] = ContextVar(
+    "repro_obs_events", default=None
+)
+
+
+def current_sink() -> EventSink | None:
+    """The sink active in this context, or ``None`` when events are off."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def event_stream(sink: EventSink) -> Iterator[EventSink]:
+    """Install ``sink`` for the ``with`` body; yields it back."""
+    token = _ACTIVE.set(sink)
+    try:
+        yield sink
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def suppress_events() -> Iterator[None]:
+    """Silence event emission for the ``with`` body.
+
+    Used around trial *measurement* (the resilient evaluator's inner
+    call, the parallel engine's per-trial pipeline): trial-plane events
+    are derived from the finished outcome by the search loop, so live
+    emission from inside a measurement would double-report in serial
+    runs and vanish in pooled ones — suppression is what makes the
+    stream independent of where the measurement ran.
+    """
+    token = _ACTIVE.set(None)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)
+
+
+def disable_events_in_process() -> None:
+    """Force events off in this process (pool-worker initializer hook).
+
+    The parallel engine's forked workers inherit the parent's sink
+    through the contextvar; an fsync'd stream appended from four
+    processes at once would interleave nondeterministically, so workers
+    emit nothing and the parent derives their events from the collected
+    outcomes (mirrors ``disable_tracing_in_process``).
+    """
+    _ACTIVE.set(None)
+
+
+def emit(name: str, **fields: Any) -> Event | None:
+    """Emit one event to the active sink (no-op when events are off)."""
+    sink = _ACTIVE.get()
+    if sink is None:
+        return None
+    return sink.emit(name, **fields)
+
+
+# -- reading a stream back ---------------------------------------------------
+
+
+def read_events(
+    path: str | Path, *, strict: bool = False
+) -> tuple[dict[str, Any], list[Event]]:
+    """Parse one stream file; returns ``(header, events)``.
+
+    Tolerates a torn final line (the process died mid-append) exactly
+    like the journal reader.  With ``strict`` every record is validated
+    against the catalog — the mode the ``tools/check.py`` events-lint
+    step and ``python -m repro.obs.events`` run in.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise EventSchemaError(f"{path}: cannot read stream: {exc}") from exc
+    if not lines:
+        raise EventSchemaError(f"{path}: stream is empty (no header)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise EventSchemaError(f"{path}:1: unreadable header: {exc}") from exc
+    if (
+        not isinstance(header, dict)
+        or header.get("stream") != _STREAM_TOOL
+        or header.get("version") != EVENTS_SCHEMA_VERSION
+    ):
+        raise EventSchemaError(
+            f"{path}:1: not a {_STREAM_TOOL} v{EVENTS_SCHEMA_VERSION} "
+            f"stream header: {header!r}"
+        )
+    events: list[Event] = []
+    for i, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if i == len(lines):
+                logger.warning(
+                    "%s:%d: dropping torn final event line (%s)", path, i, exc
+                )
+                break
+            raise EventSchemaError(
+                f"{path}:{i}: corrupt event record: {exc}"
+            ) from exc
+        if strict:
+            events.append(validate_event(obj, path=f"{path}:{i}"))
+        else:
+            events.append(Event.from_obj(obj))
+    return header, events
+
+
+def validate_stream(path: str | Path) -> int:
+    """Strictly validate a stream file; returns the event count."""
+    _header, events = read_events(path, strict=True)
+    return len(events)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.events STREAM...`` — validate stream files."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.events",
+        description="validate structured event stream files against the "
+                    "catalog/schema (the tools/check.py events-lint step)",
+    )
+    parser.add_argument("paths", nargs="+", metavar="STREAM")
+    args = parser.parse_args(argv)
+    status = 0
+    for raw in args.paths:
+        try:
+            count = validate_stream(raw)
+        except EventSchemaError as exc:
+            print(f"{raw}: INVALID: {exc}")
+            status = 1
+        else:
+            print(f"{raw}: ok ({count} event(s))")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    import sys
+
+    sys.exit(main())

@@ -27,6 +27,24 @@ def validate_metric_name(name: str) -> str:
     return name
 
 
+def _require_finite(metric: str, name: str, value: float) -> float:
+    """Reject NaN/inf before it poisons a total or an exported sample.
+
+    A non-finite observation is always an instrumentation bug (the
+    simulator's numbers are finite by construction), and both exporters
+    (:mod:`repro.obs.export`) and ``repro top`` assume finite samples —
+    so all three metric kinds raise here rather than propagate it.
+    """
+    if not math.isfinite(value):
+        raise ValueError(f"{metric} {name} rejects non-finite value {value!r}")
+    return value
+
+
+#: Percentiles reported by :meth:`Histogram.summary` (and rendered as
+#: ``quantile`` labels by the Prometheus exporter).
+HISTOGRAM_PERCENTILES: tuple[int, ...] = (50, 95, 99)
+
+
 @dataclass
 class Counter:
     """Monotonically increasing total."""
@@ -35,6 +53,7 @@ class Counter:
     value: float = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        _require_finite("counter", self.name, amount)
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease ({amount})")
         self.value += amount
@@ -48,35 +67,58 @@ class Gauge:
     value: float = 0.0
 
     def set(self, value: float) -> None:
-        self.value = value
+        self.value = _require_finite("gauge", self.name, value)
 
 
 @dataclass
 class Histogram:
-    """Streaming summary (count / sum / min / max) of observations."""
+    """Summary (count / sum / min / max / percentiles) of observations.
+
+    Observations are retained (they are per-launch or per-trial scalars;
+    a whole exhaustive sweep is a few hundred floats), so the
+    p50/p95/p99 the exporters and ``repro top`` need are exact
+    nearest-rank percentiles, not a streaming approximation.
+    """
 
     name: str
     count: int = 0
     total: float = 0.0
     min: float = math.inf
     max: float = -math.inf
+    samples: list[float] = field(default_factory=list)
 
     def observe(self, value: float) -> None:
+        _require_finite("histogram", self.name, value)
         self.count += 1
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        self.samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """Exact nearest-rank percentile of everything observed so far."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        ordered = sorted(self.samples)
+        rank = math.ceil(p / 100.0 * len(ordered))
+        return ordered[max(0, rank - 1)]
+
     def summary(self) -> dict[str, float]:
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                **{f"p{p}": 0.0 for p in HISTOGRAM_PERCENTILES},
+            }
         return {
             "count": self.count, "sum": self.total,
             "min": self.min, "max": self.max, "mean": self.mean,
+            **{f"p{p}": self.percentile(p) for p in HISTOGRAM_PERCENTILES},
         }
 
 

@@ -192,6 +192,18 @@ def current_tracer() -> Tracer | None:
     return _ACTIVE.get()
 
 
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active tracer's registry (no-op when untraced).
+
+    The service-gauge hook (``tune.inflight``, ``cache.hit_ratio``, ...):
+    the engines call this at state transitions and the cost with tracing
+    off stays one contextvar lookup, preserving the disabled-path bound.
+    """
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.metrics.gauge(name).set(value)
+
+
 @contextmanager
 def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
     """Enable tracing for the ``with`` body; yields the active tracer."""

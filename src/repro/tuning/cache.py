@@ -46,6 +46,8 @@ except ImportError:  # pragma: no cover - non-posix fallback: unlocked
     fcntl = None  # type: ignore[assignment]
 
 from repro.kernels.config import BlockConfig
+from repro.obs.events import emit as emit_event
+from repro.obs.tracer import set_gauge
 from repro.tuning.result import TuneEntry, TuneResult
 from repro.tuning.space import default_space
 
@@ -115,6 +117,15 @@ class TuningCache:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._data: dict[str, dict[str, Any]] = self._load()
+        self._lookups = 0
+        self._hits = 0
+
+    def _count_lookup(self, hit: bool) -> None:
+        """Track this instance's hit ratio (the ``cache.hit_ratio`` gauge)."""
+        self._lookups += 1
+        if hit:
+            self._hits += 1
+        set_gauge("cache.hit_ratio", self._hits / self._lookups)
 
     def _load(self) -> dict[str, dict[str, Any]]:
         if not self.path.exists():
@@ -182,8 +193,11 @@ class TuningCache:
         """
         key = _key(family, order, dtype, device, grid, _resolve_sig(space_sig))
         raw = self._data.get(key)
+        self._count_lookup(hit=raw is not None)
         if raw is None:
+            emit_event("cache.miss", key=key)
             return None
+        emit_event("cache.hit", key=key)
         entries = tuple(_entry_from_obj(obj) for obj in raw["entries"])
         best = _entry_from_obj(raw["best"])
         return TuneResult(
@@ -225,12 +239,16 @@ class TuningCache:
             # Per-key merge: adopt whatever landed on disk since our
             # last read, then overwrite only the key being written.
             merged = self._load()
+            adopted = sum(1 for k in merged if k not in self._data)
             merged.update(
                 (k, v) for k, v in self._data.items() if k not in merged
             )
             merged[key] = record
             self._data = merged
             self._publish()
+        if adopted:
+            emit_event("cache.merge", adopted=adopted)
+        emit_event("cache.put", key=key, entries=len(result.entries))
 
     def _publish(self) -> None:
         # Atomic publish: write the whole document to a sibling temp file

@@ -32,6 +32,7 @@ from repro.errors import ResourceLimitError
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.executor import DeviceExecutor
 from repro.kernels.config import BlockConfig
+from repro.obs.events import current_sink, emit as emit_event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.gpusim.workload import BlockWorkload
@@ -76,6 +77,47 @@ class TrialOutcome:
     def measured(self) -> bool:
         """Did this trial produce a usable rate?"""
         return self.status == STATUS_OK
+
+
+def emit_trial_events(outcome: TrialOutcome) -> None:
+    """Emit the trial-plane events one finished outcome implies.
+
+    The event-layer side of "the evaluator measures, the search loop
+    narrates": the loops call this **in input order** after a trial
+    completes, never live from inside a measurement (which runs under
+    :func:`repro.obs.events.suppress_events`).  The stream is thereby a
+    pure function of the outcome sequence — byte-identical at any
+    ``--jobs`` count, and its counts match the journal by construction.
+
+    A replayed outcome emits only ``trial.replayed``: the work it
+    describes happened (and was streamed) in the session that journaled
+    it, so re-emitting measurement events would double-count a resumed
+    campaign.
+    """
+    if current_sink() is None:
+        return
+    cfg = outcome.config.label()
+    if outcome.replayed:
+        emit_event("trial.replayed", config=cfg, status=outcome.status)
+        return
+    if outcome.attempts > 1:
+        emit_event("trial.retried", config=cfg, retries=outcome.attempts - 1)
+    for kind in outcome.faults:
+        emit_event("fault.observed", config=cfg, kind=kind)
+    if outcome.status == STATUS_OK:
+        emit_event(
+            "trial.measured", config=cfg,
+            mpoints_per_s=outcome.mpoints_per_s, attempts=outcome.attempts,
+        )
+    elif outcome.status == STATUS_QUARANTINED:
+        emit_event(
+            "trial.quarantined", config=cfg,
+            attempts=outcome.attempts, faults=list(outcome.faults),
+        )
+    elif outcome.status == STATUS_REJECTED_STATIC:
+        emit_event("trial.rejected", config=cfg, reason="static")
+    else:
+        emit_event("trial.rejected", config=cfg, reason="simulated")
 
 
 class TrialEvaluator(Protocol):

@@ -14,6 +14,7 @@ from repro.errors import TuningError
 from repro.gpusim.device import DeviceSpec
 from repro.kernels.base import KernelPlan
 from repro.kernels.config import BlockConfig
+from repro.obs.events import emit as emit_event
 from repro.obs.schema import CAT_TUNE_RUN, CAT_TUNE_TRIAL
 from repro.obs.tracer import current_tracer, maybe_span
 from repro.tuning.evaluator import (
@@ -24,6 +25,7 @@ from repro.tuning.evaluator import (
     TrialEvaluator,
     TrialOutcome,
     batch_capable,
+    emit_trial_events,
 )
 from repro.tuning.result import TuneEntry, TuneResult
 from repro.tuning.space import ParameterSpace, default_space
@@ -75,6 +77,9 @@ def evaluate_configs(
         block = plan.block_workload(device, grid_shape)
         if evaluator.statically_rejected(block):
             rejected_static += 1
+            emit_trial_events(
+                TrialOutcome(config=cfg, status=STATUS_REJECTED_STATIC)
+            )
             if tracer is not None:
                 tracer.instant(
                     cfg.label(), CAT_TUNE_TRIAL,
@@ -85,6 +90,7 @@ def evaluate_configs(
         with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
                         config=cfg.label()) as sp:
             outcome = evaluator.measure(cfg, plan, grid_shape, block)
+            emit_trial_events(outcome)
             if outcome.status == STATUS_REJECTED_SIMULATED:
                 rejected_simulated += 1
                 if sp is not None:
@@ -135,6 +141,7 @@ def _collect_outcomes(
     rejected_simulated = 0
     quarantined = 0
     for cfg, outcome in zip(configs, outcomes):
+        emit_trial_events(outcome)
         if outcome.status == STATUS_REJECTED_STATIC:
             rejected_static += 1
             if tracer is not None:
@@ -205,6 +212,10 @@ def exhaustive_tune(
     """Run the full feasible space; return the ranked result."""
     configs = feasible_configs(build, device, grid_shape, space)
     stats: dict[str, Any] = {}
+    emit_event(
+        "sweep.start", method="exhaustive", device=device.name,
+        space_size=len(configs),
+    )
     with maybe_span(
         current_tracer(), f"exhaustive on {device.name}", CAT_TUNE_RUN,
         method="exhaustive", device=device.name, space_size=len(configs),
@@ -215,6 +226,7 @@ def exhaustive_tune(
         )
         if run_span is not None:
             run_span.args.update(evaluated=len(entries), **stats)
+    emit_event("sweep.finished", method="exhaustive", evaluated=len(entries))
     if not entries:
         raise TuningError(
             f"no configuration could be launched on {device.name} for {grid_shape}"

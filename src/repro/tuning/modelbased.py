@@ -20,6 +20,7 @@ from repro.errors import TuningError
 from repro.gpusim.device import DeviceSpec
 from repro.kernels.base import KernelPlan
 from repro.kernels.config import BlockConfig
+from repro.obs.events import emit as emit_event
 from repro.obs.schema import CAT_TUNE_RUN, CAT_TUNE_TRIAL
 from repro.obs.tracer import current_tracer, maybe_span
 from repro.tuning.evaluator import (
@@ -30,6 +31,7 @@ from repro.tuning.evaluator import (
     TrialEvaluator,
     TrialOutcome,
     batch_capable,
+    emit_trial_events,
 )
 from repro.tuning.exhaustive import feasible_configs
 from repro.tuning.perfmodel import ModelInputs, PaperModel
@@ -65,6 +67,10 @@ def model_based_tune(
     model = PaperModel(device)
     tracer = current_tracer()
 
+    emit_event(
+        "sweep.start", method="model", device=device.name,
+        space_size=len(configs),
+    )
     with maybe_span(
         tracer, f"model on {device.name}", CAT_TUNE_RUN,
         method="model", device=device.name, space_size=len(configs), beta=beta,
@@ -103,6 +109,7 @@ def model_based_tune(
             run_span.args.update(
                 shortlist=n, evaluated=len(entries), **stats
             )
+    emit_event("sweep.finished", method="model", evaluated=len(entries))
     if not entries:
         raise TuningError(
             f"none of the model's top {n} candidates could be launched on "
@@ -135,6 +142,9 @@ def _measure_shortlist_serial(
         block = plan.block_workload(device, grid_shape)
         if ev.statically_rejected(block):
             stats["rejected_static"] += 1
+            emit_trial_events(
+                TrialOutcome(config=cfg, status=STATUS_REJECTED_STATIC)
+            )
             if tracer is not None:
                 tracer.instant(
                     cfg.label(), CAT_TUNE_TRIAL, config=cfg.label(),
@@ -146,6 +156,7 @@ def _measure_shortlist_serial(
                         config=cfg.label(),
                         predicted_mpoints_per_s=predicted) as sp:
             outcome = ev.measure(cfg, plan, grid_shape, block)
+            emit_trial_events(outcome)
             if outcome.status == STATUS_REJECTED_SIMULATED:
                 stats["rejected_simulated"] += 1
                 if sp is not None:
@@ -180,6 +191,7 @@ def _collect_shortlist(
     tracer = current_tracer()
     entries: list[TuneEntry] = []
     for (cfg, predicted), outcome in zip(shortlist, outcomes):
+        emit_trial_events(outcome)
         if outcome.status == STATUS_REJECTED_STATIC:
             stats["rejected_static"] += 1
             if tracer is not None:

@@ -59,8 +59,13 @@ from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.executor import DeviceExecutor
 from repro.gpusim.faults import FaultPlan
 from repro.kernels.config import BlockConfig
+from repro.obs.events import (
+    disable_events_in_process,
+    emit as emit_event,
+    suppress_events,
+)
 from repro.obs.schema import CAT_TUNE_WORKER
-from repro.obs.tracer import current_tracer, disable_tracing_in_process
+from repro.obs.tracer import current_tracer, disable_tracing_in_process, set_gauge
 from repro.tuning.evaluator import (
     STATUS_REJECTED_STATIC,
     SimTrialEvaluator,
@@ -160,22 +165,26 @@ def _run_trial(
     inline path and the pool path share, which is what makes them
     interchangeable.
     """
-    plan = build(cfg)
-    block = plan.block_workload(setup.device, grid_shape)
-    if setup.prefilter and launch_failure(block, setup.device) is not None:
-        return TrialOutcome(config=cfg, status=STATUS_REJECTED_STATIC), {}
-    executor = DeviceExecutor(
-        setup.device,
-        faults=_fresh_faults(setup.faults),
-        watchdog_cycles=setup.watchdog_cycles,
-        fault_stream=config_fault_stream(cfg),
-    )
-    resilient = ResilientEvaluator(
-        SimTrialEvaluator(setup.device, prefilter=False, executor=executor),
-        policy=setup.policy,
-    )
-    outcome = resilient.measure(cfg, plan, grid_shape, block)
-    return outcome, resilient.stats
+    # Event-silent like the worker processes themselves: the search loop
+    # derives trial events from the returned outcome in input order, so a
+    # live emission here (parent-inline path) would double-report.
+    with suppress_events():
+        plan = build(cfg)
+        block = plan.block_workload(setup.device, grid_shape)
+        if setup.prefilter and launch_failure(block, setup.device) is not None:
+            return TrialOutcome(config=cfg, status=STATUS_REJECTED_STATIC), {}
+        executor = DeviceExecutor(
+            setup.device,
+            faults=_fresh_faults(setup.faults),
+            watchdog_cycles=setup.watchdog_cycles,
+            fault_stream=config_fault_stream(cfg),
+        )
+        resilient = ResilientEvaluator(
+            SimTrialEvaluator(setup.device, prefilter=False, executor=executor),
+            policy=setup.policy,
+        )
+        outcome = resilient.measure(cfg, plan, grid_shape, block)
+        return outcome, resilient.stats
 
 
 # -- worker side -------------------------------------------------------------
@@ -194,8 +203,16 @@ _ChunkResult = tuple[
 
 
 def _worker_init() -> None:
-    """Pool-worker initializer: no tracing inside workers (see module doc)."""
+    """Pool-worker initializer: no tracing, no events inside workers.
+
+    Both contextvars are fork-inherited; spans recorded in a worker die
+    with it, and an fsync'd event stream appended from four processes at
+    once would interleave nondeterministically.  The parent re-emits
+    worker timings (:meth:`Tracer.host_span_at`) and derives trial
+    events from the collected outcomes in input order.
+    """
     disable_tracing_in_process()
+    disable_events_in_process()
 
 
 def _measure_chunk(task: _ChunkTask) -> _ChunkResult:
@@ -325,6 +342,7 @@ class ParallelEvaluator:
             self.setup, lambda _cfg: plan, cfg, grid_shape
         )
         _merge_stats(self.stats, trial_stats)
+        set_gauge("tune.quarantined", self.stats["quarantined_configs"])
         if self.journal is not None:
             self.journal.record(outcome)
         return outcome
@@ -380,6 +398,7 @@ class ParallelEvaluator:
             outcome, trial_stats = _run_trial(self.setup, build, cfg, grid_shape)
             _merge_stats(self.stats, trial_stats)
             out[idx] = outcome
+        set_gauge("tune.quarantined", self.stats["quarantined_configs"])
         return out
 
     def _measure_pending_pooled(
@@ -398,6 +417,10 @@ class ParallelEvaluator:
             (grid_shape, pending[i:i + size])
             for i in range(0, len(pending), size)
         ]
+        # Engine-plane telemetry: volatile events (kept by the flight
+        # recorder, excluded from persistent streams) and service gauges.
+        emit_event("pool.dispatch", tasks=len(tasks), configs=len(pending))
+        set_gauge("tune.inflight", len(pending))
         tracer = current_tracer()
         ref_perf = time.perf_counter()
         ref_us = tracer.now_us() if tracer is not None else 0.0
@@ -409,6 +432,7 @@ class ParallelEvaluator:
                 "evaluation", exc,
             )
             self.close()
+            set_gauge("tune.inflight", 0)
             return self._measure_pending_inline(build, pending, grid_shape)
 
         out: dict[int, TrialOutcome] = {}
@@ -416,10 +440,9 @@ class ParallelEvaluator:
             _merge_stats(self.stats, chunk_stats)
             for idx, outcome in chunk_out:
                 out[idx] = outcome
+            lane = self._worker_lanes.setdefault(pid, len(self._worker_lanes))
+            emit_event("pool.chunk", worker=lane, configs=len(chunk_out))
             if tracer is not None:
-                lane = self._worker_lanes.setdefault(
-                    pid, len(self._worker_lanes)
-                )
                 tracer.host_span_at(
                     f"chunk[{len(chunk_out)}]",
                     CAT_TUNE_WORKER,
@@ -429,6 +452,8 @@ class ParallelEvaluator:
                     configs=len(chunk_out),
                     pid=pid,
                 )
+        set_gauge("tune.inflight", 0)
+        set_gauge("tune.quarantined", self.stats["quarantined_configs"])
         return out
 
     # -- pool lifecycle ----------------------------------------------------
@@ -461,6 +486,8 @@ class ParallelEvaluator:
         finally:
             _WORKER_STATE = None
         self._pool_build = build
+        emit_event("pool.start", workers=self.jobs)
+        set_gauge("pool.workers_alive", self.jobs)
         return self._pool
 
     def close(self) -> None:
@@ -470,6 +497,8 @@ class ParallelEvaluator:
             self._pool.join()
             self._pool = None
             self._pool_build = None
+            emit_event("pool.stop")
+            set_gauge("pool.workers_alive", 0)
 
     def __enter__(self) -> "ParallelEvaluator":
         return self

@@ -46,6 +46,17 @@ from repro.errors import (
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.executor import DeviceExecutor
 from repro.kernels.config import BlockConfig
+from repro.obs.events import (
+    EventSink,
+    FlightRecorder,
+    JsonlEventSink,
+    TeeEventSink,
+    current_sink,
+    emit as emit_event,
+    event_stream,
+    suppress_events,
+)
+from repro.obs.tracer import set_gauge
 from repro.tuning.evaluator import (
     STATUS_QUARANTINED,
     TRIAL_STATUSES,
@@ -329,7 +340,14 @@ class ResilientEvaluator:
                 self._backoff(key, attempts - 1)
             attempts += 1
             try:
-                outcome = self.inner.measure(cfg, plan, grid_shape, block)
+                # Events are silenced across the measurement: fault
+                # instants fired mid-attempt would be emitted live in a
+                # serial run but lost in a pooled one.  The search loop
+                # derives them from the finished outcome instead
+                # (emit_trial_events), keeping the stream identical
+                # wherever the measurement ran.
+                with suppress_events():
+                    outcome = self.inner.measure(cfg, plan, grid_shape, block)
             except (FaultInjectedError, KernelHangError) as exc:
                 kind = getattr(exc, "kind", "unknown")
                 faults_seen.append(kind)
@@ -378,6 +396,7 @@ class ResilientEvaluator:
             )
             return self._finish(final)
         self.stats["quarantined_configs"] += 1
+        set_gauge("tune.quarantined", self.stats["quarantined_configs"])
         final = TrialOutcome(
             config=cfg,
             status=STATUS_QUARANTINED,
@@ -456,6 +475,20 @@ class RobustTuningSession:
     worker_cap:
         Override for the parallel engine's core-count clamp (tests and
         benches on small machines); ignored when ``jobs`` is ``None``.
+    events_path:
+        Where to stream structured events
+        (:class:`repro.obs.events.JsonlEventSink`, tailed by
+        ``repro top``).  ``None`` (default) leaves the event layer
+        exactly as the caller configured it — off unless a sink is
+        already installed — so a plain session stays zero-perturbation.
+    crash_report_path:
+        Where the flight recorder dumps its ring of recent events when
+        an error escapes :meth:`run`.  Defaults to
+        ``<events_path>.crash.json`` next to ``events_path`` (or next to
+        ``journal_path``) when either is set; ``None`` with neither set
+        disables the dump.
+    flight_capacity:
+        Ring size of the :class:`repro.obs.events.FlightRecorder`.
     """
 
     def __init__(
@@ -472,10 +505,24 @@ class RobustTuningSession:
         watchdog_cycles: float | None = None,
         jobs: int | None = None,
         worker_cap: int | None = None,
+        events_path: str | Path | None = None,
+        crash_report_path: str | Path | None = None,
+        flight_capacity: int = 256,
     ) -> None:
         self.device = get_device(device) if isinstance(device, str) else device
         self.grid_shape = grid_shape
         self.faults = faults
+        self.events_path = Path(events_path) if events_path is not None else None
+        if crash_report_path is None:
+            anchor = self.events_path or (
+                Path(journal_path) if journal_path is not None else None
+            )
+            if anchor is not None:
+                crash_report_path = anchor.with_name(anchor.name + ".crash.json")
+        self.crash_report_path = (
+            Path(crash_report_path) if crash_report_path is not None else None
+        )
+        self.flight = FlightRecorder(flight_capacity)
         if session_key is None:
             session_key = self.default_session_key(
                 self.device, grid_shape, faults
@@ -589,7 +636,73 @@ class RobustTuningSession:
         best measured rate is not positive (every trial quarantined or
         rejected) — either way the next tier starts with the journal's
         accumulated knowledge, so nothing completed is re-run.
+
+        When events are enabled (``events_path``, or a sink the caller
+        already installed) the campaign additionally narrates itself:
+        ``session.*`` / ``sweep.*`` / trial-plane events flow to the
+        stream and through the flight recorder, whose ring is dumped to
+        ``crash_report_path`` should any error escape this method.
         """
+        sinks: list[EventSink] = []
+        outer = current_sink()
+        if outer is not None:
+            sinks.append(outer)
+        stream: JsonlEventSink | None = None
+        if self.events_path is not None:
+            stream = JsonlEventSink(self.events_path, session=self.session_key)
+            sinks.append(stream)
+        if not sinks and self.crash_report_path is None:
+            # Event layer untouched: a plain session stays zero-overhead.
+            return self._run_ladder(
+                build, method=method, space=space, beta=beta, budget=budget,
+                seed=seed,
+            )
+        sinks.append(self.flight)
+        try:
+            with event_stream(TeeEventSink(sinks)):
+                emit_event(
+                    "session.start", session=self.session_key, method=method
+                )
+                try:
+                    session_result = self._run_ladder(
+                        build, method=method, space=space, beta=beta,
+                        budget=budget, seed=seed,
+                    )
+                except BaseException as exc:
+                    emit_event(
+                        "session.crash",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    if self.crash_report_path is not None:
+                        self.flight.dump(
+                            self.crash_report_path,
+                            reason=type(exc).__name__,
+                            error=exc,
+                            session=self.session_key,
+                        )
+                    raise
+                emit_event(
+                    "session.finished",
+                    method=session_result.method,
+                    best_config=session_result.result.best.config.label(),
+                    best_mpoints=session_result.result.best_mpoints,
+                )
+                return session_result
+        finally:
+            if stream is not None:
+                stream.close()
+
+    def _run_ladder(
+        self,
+        build: Callable[[BlockConfig], "KernelPlan"],
+        *,
+        method: str,
+        space: "ParameterSpace | None",
+        beta: float,
+        budget: int,
+        seed: int,
+    ) -> SessionResult:
+        """The degradation walk itself (see :meth:`run`)."""
         tiers = DEGRADATION_LADDER if method == "auto" else (method,)
         if any(t not in DEGRADATION_LADDER for t in tiers):
             raise TuningError(
@@ -599,6 +712,7 @@ class RobustTuningSession:
         failed: list[str] = []
         errors: dict[str, str] = {}
         for tier in tiers:
+            emit_event("session.tier_start", tier=tier)
             try:
                 result = self._run_tier(
                     tier, build, space=space, beta=beta, budget=budget,
@@ -607,6 +721,7 @@ class RobustTuningSession:
             except TuningError as exc:
                 failed.append(tier)
                 errors[tier] = str(exc)
+                emit_event("session.tier_failed", tier=tier, error=str(exc))
                 logger.warning("tier %r failed: %s", tier, exc)
                 continue
             if result.best_mpoints <= 0.0:
@@ -614,6 +729,9 @@ class RobustTuningSession:
                 errors[tier] = (
                     "no usable measurement (best rate "
                     f"{result.best_mpoints:g} MPoint/s)"
+                )
+                emit_event(
+                    "session.tier_failed", tier=tier, error=errors[tier]
                 )
                 logger.warning(
                     "tier %r produced no usable measurement, degrading", tier

@@ -20,13 +20,17 @@ from repro.errors import TuningError
 from repro.gpusim.device import DeviceSpec
 from repro.kernels.base import KernelPlan
 from repro.kernels.config import BlockConfig
+from repro.obs.events import emit as emit_event
 from repro.obs.schema import CAT_TUNE_RUN, CAT_TUNE_TRIAL
 from repro.obs.tracer import current_tracer, maybe_span
 from repro.tuning.evaluator import (
     STATUS_QUARANTINED,
     STATUS_REJECTED_SIMULATED,
+    STATUS_REJECTED_STATIC,
     SimTrialEvaluator,
     TrialEvaluator,
+    TrialOutcome,
+    emit_trial_events,
 )
 from repro.tuning.exhaustive import feasible_configs
 from repro.tuning.result import TuneEntry, TuneResult
@@ -120,11 +124,15 @@ def stochastic_tune(
             if evaluator.statically_rejected(block):
                 stats["rejected_static"] += 1
                 rate = 0.0
+                emit_trial_events(
+                    TrialOutcome(config=cfg, status=STATUS_REJECTED_STATIC)
+                )
                 if sp is not None:
                     sp.args["rejected"] = "static"
                     tracer.metrics.counter("tune.rejected_static").inc()
             else:
                 outcome = evaluator.measure(cfg, plan, grid_shape, block)
+                emit_trial_events(outcome)
                 rate = outcome.mpoints_per_s if outcome.measured else 0.0
                 if outcome.status == STATUS_REJECTED_SIMULATED:
                     stats["rejected_simulated"] += 1
@@ -143,6 +151,10 @@ def stochastic_tune(
         measured[cfg] = rate
         return rate
 
+    emit_event(
+        "sweep.start", method="stochastic", device=device.name,
+        space_size=len(configs),
+    )
     with maybe_span(
         tracer, f"stochastic on {device.name}", CAT_TUNE_RUN,
         method="stochastic", device=device.name, space_size=len(configs),
@@ -186,6 +198,7 @@ def stochastic_tune(
                     current, current_rate = candidate, rate
         if run_span is not None:
             run_span.args.update(evaluated=len(measured), **stats)
+    emit_event("sweep.finished", method="stochastic", evaluated=len(measured))
 
     entries = tuple(
         sorted(

@@ -1,0 +1,25 @@
+"""Regenerate golden_metrics.prom / golden_metrics.json.
+
+Run from the repo root after an intentional exporter format change::
+
+    PYTHONPATH=src python tests/data/make_golden_metrics.py
+
+The inputs are the deterministic sample registry the ``--lint`` self
+-check uses, so the goldens pin the exact bytes both exporters produce.
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs.export import _sample_registry, to_otlp_json, to_prometheus
+
+HERE = Path(__file__).parent
+
+if __name__ == "__main__":
+    snapshot = _sample_registry().snapshot()
+    (HERE / "golden_metrics.prom").write_text(to_prometheus(snapshot))
+    (HERE / "golden_metrics.json").write_text(
+        json.dumps(to_otlp_json(snapshot), indent=1, sort_keys=True) + "\n"
+    )
+    print("wrote", HERE / "golden_metrics.prom")
+    print("wrote", HERE / "golden_metrics.json")

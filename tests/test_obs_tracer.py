@@ -101,6 +101,7 @@ class TestMetrics:
         assert snap["gauges"]["sim.occupancy"] == 0.5
         assert snap["histograms"]["sim.plane_cycles"] == {
             "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+            "p50": 2.0, "p95": 3.0, "p99": 3.0,
         }
 
     def test_empty_histogram_summary(self):

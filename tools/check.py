@@ -28,7 +28,12 @@ Runs, in order:
    against the resimulated hardware counters, and every distinct
    plan's CUDA/OpenCL/HIP sources are re-parsed and verified against
    the IR — any IR↔source or estimator↔counters mismatch fails)
-8. the tier-1 test suite (``pytest tests/``)
+8. the events/metrics lint (a seeded storm tune writes an ``--events``
+   stream and a ``--metrics-out`` exposition; the stream is validated
+   against the event catalog with ``python -m repro.obs.events``, the
+   exposition and the exporters' own sample output with
+   ``python -m repro.obs.export --lint``)
+9. the tier-1 test suite (``pytest tests/``)
 
 Static tools that are not installed are reported as *skipped* and do not
 fail the gate — the container bakes in the runtime toolchain but not
@@ -121,6 +126,48 @@ def parallel_smoke(env: dict) -> str:
     return "ok"
 
 
+def events_lint(env: dict) -> str:
+    """Generate a real event stream + metrics export, validate both.
+
+    One seeded storm tune with ``--events`` and ``--metrics-out`` is the
+    fixture; the stream must parse strictly against the event catalog
+    and the exposition must pass the Prometheus lint (alongside the
+    exporters' built-in sample self-lint).
+    """
+    import tempfile
+
+    label = "events-lint"
+    with tempfile.TemporaryDirectory() as tmp:
+        events = str(Path(tmp) / "gate.events")
+        metrics = str(Path(tmp) / "gate.prom")
+        steps = [
+            ("tune", [
+                sys.executable, "-m", "repro.cli", "-q", "tune",
+                "--kernel", "inplane_fullslice", "--order", "2",
+                "--device", "gtx580", "--grid", "64,64,32",
+                "--method", "auto",
+                "--faults", "seed=7,launch=0.1,hang=0.02,throttle=0.05",
+                "--events", events, "--metrics-out", metrics,
+            ]),
+            ("stream", [sys.executable, "-m", "repro.obs.events", events]),
+            ("export", [
+                sys.executable, "-m", "repro.obs.export", "--lint", metrics,
+            ]),
+            ("sample", [sys.executable, "-m", "repro.obs.export", "--lint"]),
+        ]
+        for phase, cmd in steps:
+            print(f"[check] {label}/{phase}: {' '.join(cmd)}")
+            proc = subprocess.run(cmd, cwd=REPO, env=env, capture_output=True)
+            if proc.returncode != 0:
+                sys.stdout.buffer.write(proc.stdout)
+                sys.stderr.buffer.write(proc.stderr)
+                print(f"[check] {label}: FAILED ({phase} exited "
+                      f"{proc.returncode})")
+                return "FAILED"
+    print(f"[check] {label}: ok")
+    return "ok"
+
+
 def main() -> int:
     import os
 
@@ -151,6 +198,7 @@ def main() -> int:
         ),
         "fault-smoke": fault_smoke(env),
         "parallel-smoke": parallel_smoke(env),
+        "events-lint": events_lint(env),
         "estimate-reconcile": run(
             "estimate-reconcile",
             [
