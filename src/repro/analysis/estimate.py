@@ -153,6 +153,24 @@ def estimate_plan(
     return estimate_ir(lower_plan(plan, grid_shape), device, grid_shape)
 
 
+def try_estimate(
+    plan: "SymmetricKernelPlan",
+    device: "DeviceSpec | str" = DEFAULT_DEVICE,
+    grid_shape: tuple[int, int, int] = DEFAULT_GRID,
+) -> tuple[PerfEstimate | None, str | None]:
+    """:func:`estimate_plan` as a non-raising ``(estimate, refusal)`` pair.
+
+    The trial archive (:mod:`repro.obs.archive`) records either the
+    estimate or the exact refusal for every evaluated config; returning
+    the refusal as ``"ErrorType: message"`` keeps that record a pure,
+    serializable function of the plan.
+    """
+    try:
+        return estimate_plan(plan, device, grid_shape), None
+    except ReproError as exc:
+        return None, f"{type(exc).__name__}: {exc}"
+
+
 # ---------------------------------------------------------------------------
 # The structured source header
 # ---------------------------------------------------------------------------

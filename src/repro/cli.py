@@ -155,6 +155,29 @@ def _maybe_events(args: argparse.Namespace):
     return _stream()
 
 
+def _maybe_archive(args: argparse.Namespace, session: str | None = None):
+    """An installed trial archive when ``--archive`` was given.
+
+    Only used on the *plain* tune paths; the resilient session owns its
+    archive lifecycle (``archive_path``) so resume/replay capture stays
+    inside its journal discipline.
+    """
+    from contextlib import contextmanager, nullcontext
+
+    path = getattr(args, "archive", None)
+    if not path:
+        return nullcontext(None)
+
+    from repro.obs.archive import TrialArchive, archive_stream
+
+    @contextmanager
+    def _stream():
+        with TrialArchive(path, session=session) as arc, archive_stream(arc):
+            yield arc
+
+    return _stream()
+
+
 def _finish_trace(tracer, path: str | None) -> None:
     """Write the Chrome trace (if requested) and log where it went."""
     if tracer is None or not path:
@@ -218,8 +241,10 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         or args.retries is not None or args.watchdog is not None
         or args.method in ("stochastic", "auto")
     )
+    plain_session = f"{args.kernel}:o{args.order}:{args.dtype}"
     if not robust:
-        with _maybe_tracing(args) as tracer, _maybe_events(args):
+        with _maybe_tracing(args) as tracer, _maybe_events(args), \
+                _maybe_archive(args, session=plain_session):
             if args.jobs:
                 # Parallel batch engine: the tuners detect the
                 # batch-capable evaluator and hand it the whole config
@@ -262,8 +287,13 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                     grid=grid,
                     register_blocking=not args.no_register_blocking,
                 )
-        print(result.summary())
-        _print_tune_entries(result)
+        if args.json:
+            import json
+
+            print(json.dumps(result.to_json_obj(), indent=2, sort_keys=True))
+        else:
+            print(result.summary())
+            _print_tune_entries(result)
         _finish_trace(tracer, args.trace)
         _finish_metrics(tracer, args.metrics_out)
         return EXIT_TUNE_OK
@@ -304,6 +334,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             watchdog_cycles=args.watchdog,
             jobs=args.jobs,
             events_path=args.events,
+            archive_path=args.archive,
         )
         with _maybe_tracing(args) as tracer:
             sres = session.run(
@@ -319,9 +350,17 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     finally:
         if session is not None:
             session.close()
-    print(sres.summary())
-    _print_tune_entries(sres.result)
     stats = sres.stats
+    if args.json:
+        import json
+
+        obj = sres.result.to_json_obj()
+        obj["session"] = session_key
+        obj["stats"] = dict(sorted(stats.items()))
+        print(json.dumps(obj, indent=2, sort_keys=True))
+    else:
+        print(sres.summary())
+        _print_tune_entries(sres.result)
     log.info(
         "trials: %d live, %d replayed, %d retries, %d quarantined",
         stats.get("live_trials", 0), stats.get("replayed", 0),
@@ -329,6 +368,41 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     )
     _finish_trace(tracer, args.trace)
     _finish_metrics(tracer, args.metrics_out)
+    return EXIT_TUNE_OK
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.archive import ArchiveError, read_archive
+    from repro.obs.explain import (
+        calibration_registry,
+        dump_landscape,
+        explain,
+    )
+
+    try:
+        header, records = read_archive(args.archive, strict=True)
+    except ArchiveError as exc:
+        log.error("unusable archive: %s", exc)
+        return EXIT_TUNE_JOURNAL
+    report = explain(header, records, top=args.top)
+    if args.json:
+        print(json.dumps(report.to_json_obj(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.landscape_out:
+        names = dump_landscape(records, args.landscape_out)
+        log.info(
+            "wrote %d landscape file(s) to %s", len(names), args.landscape_out
+        )
+    if args.metrics_out:
+        from repro.obs.export import write_metrics
+
+        write_metrics(
+            calibration_registry(report.calibration), Path(args.metrics_out)
+        )
+        log.info("wrote calibration metrics %s", args.metrics_out)
     return EXIT_TUNE_OK
 
 
@@ -745,7 +819,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="export the run's metrics registry here "
                            "(.prom/.txt: Prometheus exposition; else "
                            "OTLP-style JSON)")
+    tune.add_argument("--archive", metavar="PATH",
+                      help="write the per-trial decision-provenance "
+                           "archive (repro.obs.archive JSONL: rate, model "
+                           "prediction, estimate, counters, disposition) "
+                           "here; byte-identical at any --jobs, read by "
+                           "'repro explain'")
+    tune.add_argument("--json", action="store_true",
+                      help="print the full ranked result as JSON (every "
+                           "entry with its predicted score and "
+                           "occupancy/load-efficiency diagnostics)")
     tune.set_defaults(func=_cmd_tune)
+
+    explain = sub.add_parser(
+        "explain",
+        help="why the winner won: differential attribution, landscape "
+             "export and model calibration from a trial archive",
+    )
+    explain.add_argument("--archive", required=True, metavar="PATH",
+                         help="trial archive written by 'repro tune "
+                              "--archive' (exit 2 if unusable)")
+    explain.add_argument("--top", type=int, default=3, metavar="N",
+                         help="ranking depth to print and the k of top-k "
+                              "regret (default 3)")
+    explain.add_argument("--json", action="store_true",
+                         help="machine-readable report")
+    explain.add_argument("--landscape-out", metavar="DIR",
+                         help="write landscape.csv plus one Vega-Lite "
+                              "heatmap spec per (RX,RY) slice here")
+    explain.add_argument("--metrics-out", metavar="PATH",
+                         help="export the calibration gauges "
+                              "(model/estimate rank_corr and topk_regret) "
+                              "here (.prom/.txt: Prometheus; else OTLP "
+                              "JSON)")
+    explain.set_defaults(func=_cmd_explain)
 
     top = sub.add_parser(
         "top", help="live view of a (running) tuning session's artifacts"

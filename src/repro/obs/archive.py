@@ -1,0 +1,406 @@
+"""Trial archive — per-config decision provenance for the tuners.
+
+The event stream (:mod:`repro.obs.events`) narrates *that* a trial
+happened; this module records *why the tuner decided what it decided*.
+One archived record per evaluated configuration carries
+
+* the trial disposition straight off the finished
+  :class:`~repro.tuning.evaluator.TrialOutcome` (status, measured rate,
+  attempts, fault kinds, replay flag);
+* the :class:`~repro.tuning.perfmodel.PaperModel` prediction for the
+  config (section VI's ranking score);
+* the codegen-time :class:`~repro.analysis.estimate.PerfEstimate`
+  (or the reason it could not be computed);
+* the full derived :class:`~repro.obs.counters.CounterSet` the config
+  would exhibit on a clean launch.
+
+Everything beyond the outcome is **re-derived in the parent, at capture
+time, from the plan alone**: counters, predictions and estimates are
+pure functions of ``(plan, device, grid)`` (fault injection perturbs
+measurement, never the derivations), so an archived record is identical
+whether the measurement ran inline, in a pool worker, or was replayed
+from a resume journal.  That is what makes the archive file
+byte-identical at ``--jobs 1`` and ``--jobs 4`` — the same determinism
+contract the journal and the event stream already keep.
+
+The write discipline matches both of them: JSONL, line 1 a header
+binding the file to the schema version and an optional session key, one
+record per line with sorted keys, each flushed and fsynced, torn final
+line tolerated on read.  With no archive installed
+(:func:`current_archive` is ``None``) every capture point is one
+:class:`~contextvars.ContextVar` lookup — zero perturbation of any
+simulated number, pinned by ``repro bench diff`` staying bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.tuning.evaluator import TRIAL_STATUSES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpusim.device import DeviceSpec
+    from repro.kernels.base import KernelPlan
+    from repro.kernels.config import BlockConfig
+    from repro.tuning.evaluator import TrialOutcome
+
+logger = logging.getLogger("repro.obs.archive")
+
+#: Version stamped into archive headers — bump on incompatible changes
+#: to the record layout.
+ARCHIVE_SCHEMA_VERSION = 1
+
+_ARCHIVE_TOOL = "repro.obs.archive"
+
+
+class ArchiveError(ValueError):
+    """An archive file (or record) violates the schema."""
+
+
+@dataclass(frozen=True)
+class ArchiveRecord:
+    """One evaluated configuration's full decision provenance.
+
+    ``predicted`` is the paper model's MPoint/s for the config;
+    ``estimate`` the codegen-time :class:`PerfEstimate` as its JSON
+    object (``estimate_error`` names the refusal when it is ``None``);
+    ``counters`` the derived clean-launch
+    :class:`~repro.obs.counters.CounterSet` as a flat dict (``None``
+    for configurations the simulator would refuse to launch).
+    """
+
+    config: tuple[int, int, int, int]
+    label: str
+    status: str
+    mpoints_per_s: float
+    attempts: int
+    faults: tuple[str, ...]
+    replayed: bool
+    predicted: float | None
+    estimate: dict[str, Any] | None
+    estimate_error: str | None
+    counters: dict[str, Any] | None
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "config": list(self.config),
+            "label": self.label,
+            "status": self.status,
+            "mpoints_per_s": self.mpoints_per_s,
+            "attempts": self.attempts,
+            "faults": list(self.faults),
+            "replayed": self.replayed,
+            "predicted": self.predicted,
+            "estimate": self.estimate,
+            "estimate_error": self.estimate_error,
+            "counters": self.counters,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Any, *, path: str = "$") -> "ArchiveRecord":
+        if not isinstance(obj, dict):
+            raise ArchiveError(
+                f"{path}: record must be an object, got {type(obj).__name__}"
+            )
+        try:
+            config = tuple(int(v) for v in obj["config"])
+            if len(config) != 4:
+                raise ValueError(f"config needs 4 ints, got {len(config)}")
+            status = str(obj["status"])
+            if status not in TRIAL_STATUSES:
+                raise ValueError(f"unknown trial status {status!r}")
+            record = cls(
+                config=config,  # type: ignore[arg-type]
+                label=str(obj["label"]),
+                status=status,
+                mpoints_per_s=float(obj["mpoints_per_s"]),
+                attempts=int(obj["attempts"]),
+                faults=tuple(str(f) for f in obj["faults"]),
+                replayed=bool(obj["replayed"]),
+                predicted=(
+                    None if obj.get("predicted") is None
+                    else float(obj["predicted"])
+                ),
+                estimate=obj.get("estimate"),
+                estimate_error=obj.get("estimate_error"),
+                counters=obj.get("counters"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArchiveError(f"{path}: bad archive record: {exc}") from exc
+        if record.estimate is not None and not isinstance(record.estimate, dict):
+            raise ArchiveError(f"{path}: estimate must be an object or null")
+        if record.counters is not None and not isinstance(record.counters, dict):
+            raise ArchiveError(f"{path}: counters must be an object or null")
+        return record
+
+    @property
+    def measured(self) -> bool:
+        """Did this trial produce a usable rate?"""
+        return self.status == "ok"
+
+
+# -- deriving a record from a finished trial ---------------------------------
+
+
+def derive_record(
+    outcome: "TrialOutcome",
+    *,
+    build: Callable[["BlockConfig"], "KernelPlan"],
+    device: "DeviceSpec",
+    grid_shape: tuple[int, int, int],
+    predicted: float | None = None,
+) -> ArchiveRecord:
+    """Build one archive record from a finished outcome, purely.
+
+    The prediction, estimate and counters are computed here, in the
+    capturing (parent) process, from the plan alone — never taken from
+    the measurement — so the record is independent of where or whether
+    the trial actually ran (replayed outcomes derive identically).
+    ``predicted`` short-circuits the model evaluation when a tuner
+    already scored the config (the model-based shortlist); its batch and
+    scalar paths are bit-identical, so either source yields the same
+    number.
+    """
+    # Deferred imports: the derivations pull the model/estimator/timing
+    # stack, which the no-archive path must never pay for (and which
+    # would cycle at import time: repro.tuning imports repro.obs).
+    from repro.errors import ReproError
+    from repro.gpusim.timing import params_for, time_kernel
+
+    plan = build(outcome.config)
+    if predicted is None:
+        from repro.tuning.perfmodel import ModelInputs, PaperModel
+
+        try:
+            inputs = ModelInputs.from_plan(plan, device, grid_shape)
+            predicted = PaperModel(device).predict(inputs).mpoints_per_s
+        except ReproError:
+            predicted = None
+
+    from repro.analysis.estimate import try_estimate
+
+    est, estimate_error = try_estimate(plan, device, grid_shape)
+    estimate = est.to_json_obj() if est is not None else None
+
+    counters: dict[str, Any] | None = None
+    try:
+        from repro.obs.counters import derive_counters
+
+        block = plan.block_workload(device, grid_shape)
+        grid = plan.grid_workload(device, grid_shape)
+        timing = time_kernel(block, grid, device)
+        counters = derive_counters(
+            timing, block, grid, device, params_for(device)
+        ).as_dict()
+    except ReproError:
+        counters = None
+
+    return ArchiveRecord(
+        config=outcome.config.as_tuple(),
+        label=outcome.config.label(),
+        status=outcome.status,
+        mpoints_per_s=outcome.mpoints_per_s,
+        attempts=outcome.attempts,
+        faults=outcome.faults,
+        replayed=outcome.replayed,
+        predicted=predicted,
+        estimate=estimate,
+        estimate_error=estimate_error,
+        counters=counters,
+    )
+
+
+# -- the writer --------------------------------------------------------------
+
+
+class TrialArchive:
+    """Append-only JSONL archive, flushed and fsynced per record.
+
+    Line 1 is a header binding the file to the schema version and an
+    optional session key; each further line is one
+    :class:`ArchiveRecord` with sorted keys.  Same crash discipline as
+    the journal and the event stream: a killed process leaves at most
+    one torn final line, everything before it is durable.
+    """
+
+    def __init__(self, path: str | Path, *, session: str | None = None) -> None:
+        self.path = Path(path)
+        self.session = session
+        self.records_written = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header: dict[str, Any] = {
+            "archive": _ARCHIVE_TOOL,
+            "version": ARCHIVE_SCHEMA_VERSION,
+        }
+        if session is not None:
+            header["session"] = session
+        self._fh = open(self.path, "w")
+        self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, record: ArchiveRecord) -> None:
+        """Append one record (flushed and fsynced)."""
+        self._fh.write(json.dumps(record.to_obj(), sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.records_written += 1
+
+    def capture(
+        self,
+        outcome: "TrialOutcome",
+        *,
+        build: Callable[["BlockConfig"], "KernelPlan"],
+        device: "DeviceSpec",
+        grid_shape: tuple[int, int, int],
+        predicted: float | None = None,
+    ) -> ArchiveRecord:
+        """Derive and append the record for one finished trial."""
+        record = derive_record(
+            outcome, build=build, device=device, grid_shape=grid_shape,
+            predicted=predicted,
+        )
+        self.record(record)
+        return record
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "TrialArchive":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+# -- the contextvar plumbing -------------------------------------------------
+
+#: The contextvar every capture point consults.  ``None`` (the default)
+#: means archiving is off and the hook is one lookup + branch, mirroring
+#: the event layer's disabled path.
+_ACTIVE: ContextVar[TrialArchive | None] = ContextVar(
+    "repro_obs_archive", default=None
+)
+
+
+def current_archive() -> TrialArchive | None:
+    """The archive active in this context, or ``None`` when off."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def archive_stream(archive: TrialArchive) -> Iterator[TrialArchive]:
+    """Install ``archive`` for the ``with`` body; yields it back."""
+    token = _ACTIVE.set(archive)
+    try:
+        yield archive
+    finally:
+        _ACTIVE.reset(token)
+
+
+def disable_archive_in_process() -> None:
+    """Force archiving off in this process (pool-worker initializer hook).
+
+    Forked workers inherit the parent's archive through the contextvar;
+    an fsync'd file appended from several processes at once would
+    interleave nondeterministically.  Workers therefore never capture —
+    the search loops capture in the parent, in input order, from the
+    collected outcomes (mirrors ``disable_events_in_process``).
+    """
+    _ACTIVE.set(None)
+
+
+# -- reading an archive back -------------------------------------------------
+
+
+def read_archive(
+    path: str | Path, *, strict: bool = False
+) -> tuple[dict[str, Any], list[ArchiveRecord]]:
+    """Parse one archive file; returns ``(header, records)``.
+
+    Tolerates a torn final line exactly like the journal and event
+    readers.  With ``strict`` every record must parse against the full
+    schema (the ``tools/check.py`` explain-smoke mode); without it the
+    same validation applies — the record layout *is* the schema — but a
+    torn final line is still the only tolerated damage.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise ArchiveError(f"{path}: cannot read archive: {exc}") from exc
+    if not lines:
+        raise ArchiveError(f"{path}: archive is empty (no header)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ArchiveError(f"{path}:1: unreadable header: {exc}") from exc
+    if (
+        not isinstance(header, dict)
+        or header.get("archive") != _ARCHIVE_TOOL
+        or header.get("version") != ARCHIVE_SCHEMA_VERSION
+    ):
+        raise ArchiveError(
+            f"{path}:1: not a {_ARCHIVE_TOOL} v{ARCHIVE_SCHEMA_VERSION} "
+            f"archive header: {header!r}"
+        )
+    records: list[ArchiveRecord] = []
+    for i, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if i == len(lines) and not strict:
+                logger.warning(
+                    "%s:%d: dropping torn final archive line (%s)", path, i, exc
+                )
+                break
+            raise ArchiveError(
+                f"{path}:{i}: corrupt archive record: {exc}"
+            ) from exc
+        records.append(ArchiveRecord.from_obj(obj, path=f"{path}:{i}"))
+    return header, records
+
+
+def validate_archive(path: str | Path) -> int:
+    """Strictly validate an archive file; returns the record count."""
+    _header, records = read_archive(path, strict=True)
+    return len(records)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.archive ARCHIVE...`` — validate archive files."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.archive",
+        description="validate trial-archive files against the schema "
+                    "(the tools/check.py explain-smoke step)",
+    )
+    parser.add_argument("paths", nargs="+", metavar="ARCHIVE")
+    args = parser.parse_args(argv)
+    status = 0
+    for raw in args.paths:
+        try:
+            count = validate_archive(raw)
+        except ArchiveError as exc:
+            print(f"{raw}: INVALID: {exc}")
+            status = 1
+        else:
+            print(f"{raw}: ok ({count} record(s))")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    import sys
+
+    sys.exit(main())

@@ -82,6 +82,163 @@ class AttributionReport:
         return "\n".join(lines)
 
 
+#: counters where a larger value is the *good* direction; everything else
+#: (stall fractions, replay rates, spill bytes, transaction counts) is a
+#: cost.  Drives the trades/for phrasing in :func:`differential`.
+_HIGHER_IS_BETTER: frozenset[str] = frozenset({
+    "dram_bw_fraction",
+    "gld_efficiency",
+    "gst_efficiency",
+    "ipc",
+    "achieved_occupancy",
+})
+
+
+@dataclass(frozen=True)
+class CounterDelta:
+    """One counter's move between two configs (winner minus runner-up)."""
+
+    counter: str       #: counter key (a ``CounterSet.as_dict()`` key)
+    winner: float      #: winner's value
+    runner_up: float   #: runner-up's value
+    rel: float         #: signed relative change vs the runner-up
+
+    @property
+    def improved(self) -> bool:
+        """Did the winner move this counter in its good direction?"""
+        if self.counter in _HIGHER_IS_BETTER:
+            return self.rel > 0
+        return self.rel < 0
+
+    def describe(self) -> str:
+        """``"31% fewer gld transactions"``-style phrase."""
+        label = self.counter.replace("_", " ")
+        pct = abs(self.rel)
+        if self.counter in _HIGHER_IS_BETTER:
+            word = "higher" if self.rel > 0 else "lower"
+        else:
+            word = "fewer" if self.rel < 0 else "more"
+        return f"{pct:.0%} {word} {label}"
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Why the winner beat the runner-up, in counter terms."""
+
+    winner_label: str
+    runner_up_label: str
+    speedup: float                      #: winner rate / runner-up rate
+    headline: str
+    deltas: tuple[CounterDelta, ...]    #: largest relative move first
+
+    def render(self) -> str:
+        lines = [
+            f"{self.winner_label} vs {self.runner_up_label} "
+            f"({self.speedup:.2f}x): {self.headline}"
+        ]
+        for d in self.deltas:
+            lines.append(
+                f"  {d.counter:<22s} {d.winner:>12.4g} vs {d.runner_up:>12.4g}"
+                f"  ({d.describe()})"
+            )
+        return "\n".join(lines)
+
+    def to_json_obj(self) -> dict[str, object]:
+        return {
+            "winner": self.winner_label,
+            "runner_up": self.runner_up_label,
+            "speedup": self.speedup,
+            "headline": self.headline,
+            "deltas": [
+                {
+                    "counter": d.counter,
+                    "winner": d.winner,
+                    "runner_up": d.runner_up,
+                    "rel": d.rel,
+                    "improved": d.improved,
+                }
+                for d in self.deltas
+            ],
+        }
+
+
+def _rel_change(winner: float, runner_up: float) -> float:
+    """Signed relative change, defined for zero baselines.
+
+    A zero runner-up value with a non-zero winner value is an unbounded
+    relative move; it is clamped to ±1 so ranking and rendering stay
+    finite and deterministic.
+    """
+    if runner_up:
+        return (winner - runner_up) / abs(runner_up)
+    if winner == runner_up:
+        return 0.0
+    return 1.0 if winner > runner_up else -1.0
+
+
+def differential(
+    winner: Mapping[str, float],
+    runner_up: Mapping[str, float],
+    *,
+    winner_label: str,
+    runner_up_label: str,
+    winner_rate: float,
+    runner_up_rate: float,
+    top: int = 5,
+) -> DifferentialReport:
+    """Winner-vs-runner-up attribution over two counter dicts.
+
+    Takes ``CounterSet.as_dict()``-shaped mappings (which is what the
+    trial archive stores), ranks the shared numeric counters by absolute
+    relative change — ties broken by counter name so the report is a pure
+    function of its inputs — and phrases the headline as the trade the
+    winner made: its largest sacrificed counter against its largest
+    gained one.
+    """
+    keys = sorted(
+        k for k in winner
+        if k in runner_up
+        and isinstance(winner[k], (int, float))
+        and isinstance(runner_up[k], (int, float))
+        and not isinstance(winner[k], bool)
+    )
+    deltas = sorted(
+        (
+            CounterDelta(
+                counter=k,
+                winner=float(winner[k]),
+                runner_up=float(runner_up[k]),
+                rel=_rel_change(float(winner[k]), float(runner_up[k])),
+            )
+            for k in keys
+        ),
+        key=lambda d: (-abs(d.rel), d.counter),
+    )
+    speedup = (
+        winner_rate / runner_up_rate if runner_up_rate else float(bool(winner_rate))
+    )
+    moved = [d for d in deltas if d.rel]
+    gains = [d for d in moved if d.improved]
+    costs = [d for d in moved if not d.improved]
+    if gains and costs:
+        headline = f"winner trades {costs[0].describe()} for {gains[0].describe()}"
+    elif gains:
+        headline = f"winner gains {gains[0].describe()} at no counter cost"
+    elif costs:
+        headline = (
+            f"winner pays {costs[0].describe()} yet still wins on rate"
+        )
+    else:
+        headline = "counters are identical; rate difference is noise-level"
+    return DifferentialReport(
+        winner_label=winner_label,
+        runner_up_label=runner_up_label,
+        speedup=speedup,
+        headline=headline,
+        deltas=tuple(deltas[:top]),
+    )
+
+
 def limiter_name(counters: CounterSet | Mapping[str, float]) -> str:
     """The primary limiter's human name (what the flame summary prints).
 

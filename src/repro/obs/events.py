@@ -122,6 +122,11 @@ EVENT_SPECS: tuple[EventSpec, ...] = (
               ("key", "entries")),
     EventSpec("cache.merge", "concurrent writers' keys were adopted on put",
               ("adopted",)),
+    # -- archive plane (repro.obs.archive) ---------------------------------
+    EventSpec("archive.start", "a trial provenance archive opened",
+              ("session",)),
+    EventSpec("archive.finished", "the trial provenance archive is complete",
+              ("records",)),
     # -- engine plane (repro.tuning.parallel; volatile) --------------------
     EventSpec("pool.start", "a worker pool forked",
               ("workers",), volatile=True),

@@ -36,6 +36,7 @@ future ``repro serve`` daemon's scrape endpoint:
 from __future__ import annotations
 
 import json
+import math
 import re
 from pathlib import Path
 from typing import Any
@@ -49,6 +50,21 @@ SERVICE_GAUGES: tuple[str, ...] = (
     "cache.hit_ratio",
     "pool.workers_alive",
 )
+
+#: Model-calibration gauges set by ``repro explain`` (per-model Spearman
+#: rank correlation of predicted vs measured rates, and top-k regret —
+#: how much rate the model's top-k shortlist leaves on the table).
+CALIBRATION_GAUGES: tuple[str, ...] = (
+    "model.rank_corr",
+    "model.topk_regret",
+    "estimate.rank_corr",
+    "estimate.topk_regret",
+)
+
+#: Every gauge name this repo exports by convention — the one list
+#: ``repro top`` and the golden exposition files key off, so a new gauge
+#: lands here or it does not exist.
+KNOWN_GAUGES: tuple[str, ...] = SERVICE_GAUGES + CALIBRATION_GAUGES
 
 #: Prefix every exported sample name carries (the Prometheus "namespace").
 PROM_NAMESPACE = "repro"
@@ -104,10 +120,14 @@ def to_prometheus(snapshot: dict[str, Any]) -> str:
     for name, summary in snapshot.get("histograms", {}).items():
         flat = prometheus_name(name, "summary")
         family(flat, name, "summary")
-        for p in HISTOGRAM_PERCENTILES:
-            lines.append(
-                f'{flat}{{quantile="{p / 100:g}"}} {_fmt(summary[f"p{p}"])}'
-            )
+        if summary["count"]:
+            # An empty series has no percentiles: its quantile samples are
+            # omitted entirely (never 0.0, never NaN) per the exposition
+            # convention; sum/count still export so the family is visible.
+            for p in HISTOGRAM_PERCENTILES:
+                lines.append(
+                    f'{flat}{{quantile="{p / 100:g}"}} {_fmt(summary[f"p{p}"])}'
+                )
         lines.append(f"{flat}_sum {_fmt(summary['sum'])}")
         lines.append(f"{flat}_count {_fmt(summary['count'])}")
     return "\n".join(lines) + "\n" if lines else ""
@@ -143,11 +163,12 @@ def to_otlp_json(snapshot: dict[str, Any]) -> dict[str, Any]:
                 "dataPoints": [{
                     "count": int(summary["count"]),
                     "sum": float(summary["sum"]),
+                    # Empty series: no quantile values (omitted, never NaN).
                     "quantileValues": [
                         {"quantile": p / 100.0,
                          "value": float(summary[f"p{p}"])}
                         for p in HISTOGRAM_PERCENTILES
-                    ],
+                    ] if summary["count"] else [],
                 }],
             },
         })
@@ -270,11 +291,17 @@ def lint_prometheus(text: str) -> list[str]:
                 if not _PROM_LABEL_RE.match(pair.strip()):
                     problems.append(f"line {n}: malformed label {pair!r}")
         try:
-            float(m.group("value"))
+            value = float(m.group("value"))
         except ValueError:
             problems.append(
                 f"line {n}: sample value {m.group('value')!r} is not a float"
             )
+        else:
+            # "nan" parses as a float, so reject it explicitly: our
+            # exporters omit samples for empty series instead of emitting
+            # NaN, and a NaN in a scrape poisons every aggregation.
+            if math.isnan(value):
+                problems.append(f"line {n}: sample value for {name} is NaN")
     return problems
 
 

@@ -111,10 +111,10 @@ class Histogram:
 
     def summary(self) -> dict[str, float]:
         if not self.count:
-            return {
-                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
-                **{f"p{p}": 0.0 for p in HISTOGRAM_PERCENTILES},
-            }
+            # No observations: only count/sum are meaningful.  min / max /
+            # mean / percentiles are *omitted* (not zeroed, never NaN) so
+            # exporters can skip the samples instead of inventing values.
+            return {"count": 0, "sum": 0.0}
         return {
             "count": self.count, "sum": self.total,
             "min": self.min, "max": self.max, "mean": self.mean,

@@ -137,6 +137,10 @@ def summarize(tracer: Tracer, *, top: int = 5) -> str:
         for name, value in snap["gauges"].items():
             lines.append(f"  {name:<32s} {value:>18,.3f} (gauge)")
         for name, h in snap["histograms"].items():
+            if not h["count"]:
+                # Empty series carry only count/sum — no stats to print.
+                lines.append(f"  {name:<32s} n=0")
+                continue
             lines.append(
                 f"  {name:<32s} n={h['count']} mean={h['mean']:,.1f} "
                 f"min={h['min']:,.1f} max={h['max']:,.1f}"

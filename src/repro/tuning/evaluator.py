@@ -120,6 +120,48 @@ def emit_trial_events(outcome: TrialOutcome) -> None:
         emit_event("trial.rejected", config=cfg, reason="simulated")
 
 
+def record_trial(
+    outcome: TrialOutcome,
+    *,
+    build: Callable[[BlockConfig], "KernelPlan"] | None = None,
+    device: DeviceSpec | None = None,
+    grid_shape: tuple[int, int, int] | None = None,
+    predicted: float | None = None,
+) -> None:
+    """Narrate one finished trial: events plus the provenance archive.
+
+    The one call the search loops make per completed outcome, **in input
+    order, in the parent**.  It emits the trial-plane events
+    (:func:`emit_trial_events`) and, when a
+    :class:`repro.obs.archive.TrialArchive` is installed and the plan
+    context (``build`` / ``device`` / ``grid_shape``) was provided,
+    derives and appends the config's archive record.  Both planes are
+    pure functions of the outcome sequence plus the plan, so everything
+    written is byte-identical at any ``--jobs`` count; with neither a
+    sink nor an archive installed the call is two contextvar lookups.
+
+    ``predicted`` forwards a model score the tuner already computed
+    (the model-based shortlist) so the archive records exactly the
+    number the ranking used.
+    """
+    emit_trial_events(outcome)
+    # Deferred import: repro.obs.archive imports this module.
+    from repro.obs.archive import current_archive
+
+    archive = current_archive()
+    if (
+        archive is None
+        or build is None
+        or device is None
+        or grid_shape is None
+    ):
+        return
+    archive.capture(
+        outcome, build=build, device=device, grid_shape=grid_shape,
+        predicted=predicted,
+    )
+
+
 class TrialEvaluator(Protocol):
     """What a tuner needs from its measurement backend."""
 

@@ -25,7 +25,7 @@ from repro.tuning.evaluator import (
     TrialEvaluator,
     TrialOutcome,
     batch_capable,
-    emit_trial_events,
+    record_trial,
 )
 from repro.tuning.result import TuneEntry, TuneResult
 from repro.tuning.space import ParameterSpace, default_space
@@ -63,7 +63,10 @@ def evaluate_configs(
     batch = batch_capable(evaluator)
     if batch is not None:
         outcomes = batch.measure_batch(build, configs, grid_shape)
-        entries = _collect_outcomes(configs, outcomes, stats)
+        entries = _collect_outcomes(
+            configs, outcomes, stats,
+            build=build, device=device, grid_shape=grid_shape,
+        )
         if stats is not None:
             stats["jobs"] = batch.jobs
         return entries
@@ -77,8 +80,9 @@ def evaluate_configs(
         block = plan.block_workload(device, grid_shape)
         if evaluator.statically_rejected(block):
             rejected_static += 1
-            emit_trial_events(
-                TrialOutcome(config=cfg, status=STATUS_REJECTED_STATIC)
+            record_trial(
+                TrialOutcome(config=cfg, status=STATUS_REJECTED_STATIC),
+                build=build, device=device, grid_shape=grid_shape,
             )
             if tracer is not None:
                 tracer.instant(
@@ -90,7 +94,9 @@ def evaluate_configs(
         with maybe_span(tracer, cfg.label(), CAT_TUNE_TRIAL,
                         config=cfg.label()) as sp:
             outcome = evaluator.measure(cfg, plan, grid_shape, block)
-            emit_trial_events(outcome)
+            record_trial(
+                outcome, build=build, device=device, grid_shape=grid_shape
+            )
             if outcome.status == STATUS_REJECTED_SIMULATED:
                 rejected_simulated += 1
                 if sp is not None:
@@ -126,6 +132,10 @@ def _collect_outcomes(
     configs: list[BlockConfig],
     outcomes: list[TrialOutcome],
     stats: dict[str, Any] | None,
+    *,
+    build: KernelBuilder,
+    device: DeviceSpec,
+    grid_shape: tuple[int, int, int],
 ) -> list[TuneEntry]:
     """Batch-path bookkeeping: classify pre-measured outcomes.
 
@@ -141,7 +151,7 @@ def _collect_outcomes(
     rejected_simulated = 0
     quarantined = 0
     for cfg, outcome in zip(configs, outcomes):
-        emit_trial_events(outcome)
+        record_trial(outcome, build=build, device=device, grid_shape=grid_shape)
         if outcome.status == STATUS_REJECTED_STATIC:
             rejected_static += 1
             if tracer is not None:

@@ -31,7 +31,7 @@ from repro.tuning.evaluator import (
     TrialEvaluator,
     TrialOutcome,
     batch_capable,
-    emit_trial_events,
+    record_trial,
 )
 from repro.tuning.exhaustive import feasible_configs
 from repro.tuning.perfmodel import ModelInputs, PaperModel
@@ -99,7 +99,10 @@ def model_based_tune(
             outcomes = batch.measure_batch(
                 build, [cfg for cfg, _ in shortlist], grid_shape
             )
-            entries = _collect_shortlist(shortlist, outcomes, stats)
+            entries = _collect_shortlist(
+                shortlist, outcomes, stats,
+                build=build, device=device, grid_shape=grid_shape,
+            )
             stats["jobs"] = batch.jobs
         else:
             entries = _measure_shortlist_serial(
@@ -142,8 +145,10 @@ def _measure_shortlist_serial(
         block = plan.block_workload(device, grid_shape)
         if ev.statically_rejected(block):
             stats["rejected_static"] += 1
-            emit_trial_events(
-                TrialOutcome(config=cfg, status=STATUS_REJECTED_STATIC)
+            record_trial(
+                TrialOutcome(config=cfg, status=STATUS_REJECTED_STATIC),
+                build=build, device=device, grid_shape=grid_shape,
+                predicted=predicted,
             )
             if tracer is not None:
                 tracer.instant(
@@ -156,7 +161,10 @@ def _measure_shortlist_serial(
                         config=cfg.label(),
                         predicted_mpoints_per_s=predicted) as sp:
             outcome = ev.measure(cfg, plan, grid_shape, block)
-            emit_trial_events(outcome)
+            record_trial(
+                outcome, build=build, device=device, grid_shape=grid_shape,
+                predicted=predicted,
+            )
             if outcome.status == STATUS_REJECTED_SIMULATED:
                 stats["rejected_simulated"] += 1
                 if sp is not None:
@@ -181,6 +189,10 @@ def _collect_shortlist(
     shortlist: list[tuple[BlockConfig, float]],
     outcomes: list[TrialOutcome],
     stats: dict[str, int],
+    *,
+    build: KernelBuilder,
+    device: DeviceSpec,
+    grid_shape: tuple[int, int, int],
 ) -> list[TuneEntry]:
     """Batch-path bookkeeping over pre-measured shortlist outcomes.
 
@@ -191,7 +203,10 @@ def _collect_shortlist(
     tracer = current_tracer()
     entries: list[TuneEntry] = []
     for (cfg, predicted), outcome in zip(shortlist, outcomes):
-        emit_trial_events(outcome)
+        record_trial(
+            outcome, build=build, device=device, grid_shape=grid_shape,
+            predicted=predicted,
+        )
         if outcome.status == STATUS_REJECTED_STATIC:
             stats["rejected_static"] += 1
             if tracer is not None:

@@ -203,16 +203,20 @@ _ChunkResult = tuple[
 
 
 def _worker_init() -> None:
-    """Pool-worker initializer: no tracing, no events inside workers.
+    """Pool-worker initializer: no tracing, events or archive in workers.
 
-    Both contextvars are fork-inherited; spans recorded in a worker die
-    with it, and an fsync'd event stream appended from four processes at
-    once would interleave nondeterministically.  The parent re-emits
-    worker timings (:meth:`Tracer.host_span_at`) and derives trial
-    events from the collected outcomes in input order.
+    All three contextvars are fork-inherited; spans recorded in a worker
+    die with it, and an fsync'd event stream or trial archive appended
+    from four processes at once would interleave nondeterministically.
+    The parent re-emits worker timings (:meth:`Tracer.host_span_at`) and
+    derives trial events and archive records from the collected outcomes
+    in input order.
     """
+    from repro.obs.archive import disable_archive_in_process
+
     disable_tracing_in_process()
     disable_events_in_process()
+    disable_archive_in_process()
 
 
 def _measure_chunk(task: _ChunkTask) -> _ChunkResult:

@@ -19,6 +19,16 @@ class TuneEntry:
     #: Extra diagnostics (occupancy, load efficiency, ...).
     info: dict[str, Any] = field(default_factory=dict)
 
+    def to_json_obj(self) -> dict[str, Any]:
+        """JSON form for ``repro tune --json`` (stable key order)."""
+        return {
+            "config": self.config.label(),
+            "tile": list(self.config.as_tuple()),
+            "mpoints_per_s": self.mpoints_per_s,
+            "predicted": self.predicted,
+            "info": dict(sorted(self.info.items())),
+        }
+
 
 @dataclass(frozen=True)
 class TuneResult:
@@ -65,3 +75,20 @@ class TuneResult:
             f"{self.best.mpoints_per_s:.1f} MPoint/s "
             f"({self.evaluated}/{self.space_size} configs executed)"
         )
+
+    def to_json_obj(self) -> dict[str, Any]:
+        """JSON form for ``repro tune --json``.
+
+        Every ranked entry ships its ``predicted`` score and ``info``
+        diagnostics (occupancy, load efficiency, ...), not just the
+        winner, so ``repro explain``-style analysis is scriptable from
+        tuner output alone when no archive was written.
+        """
+        return {
+            "method": self.method,
+            "best": self.best.to_json_obj(),
+            "entries": [e.to_json_obj() for e in self.entries],
+            "evaluated": self.evaluated,
+            "space_size": self.space_size,
+            "info": dict(sorted(self.info.items())),
+        }

@@ -46,6 +46,7 @@ from repro.errors import (
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.executor import DeviceExecutor
 from repro.kernels.config import BlockConfig
+from repro.obs.archive import TrialArchive, archive_stream
 from repro.obs.events import (
     EventSink,
     FlightRecorder,
@@ -481,6 +482,14 @@ class RobustTuningSession:
         ``repro top``).  ``None`` (default) leaves the event layer
         exactly as the caller configured it — off unless a sink is
         already installed — so a plain session stays zero-perturbation.
+    archive_path:
+        Where to write the per-trial decision-provenance archive
+        (:class:`repro.obs.archive.TrialArchive`: measured rate, model
+        prediction, codegen-time estimate, derived counters and
+        disposition per evaluated config — what ``repro explain``
+        reads).  Captured by the search loops in the parent in input
+        order, so the file is byte-identical at any ``jobs`` count;
+        ``None`` (default) keeps archiving off at zero perturbation.
     crash_report_path:
         Where the flight recorder dumps its ring of recent events when
         an error escapes :meth:`run`.  Defaults to
@@ -506,6 +515,7 @@ class RobustTuningSession:
         jobs: int | None = None,
         worker_cap: int | None = None,
         events_path: str | Path | None = None,
+        archive_path: str | Path | None = None,
         crash_report_path: str | Path | None = None,
         flight_capacity: int = 256,
     ) -> None:
@@ -513,6 +523,9 @@ class RobustTuningSession:
         self.grid_shape = grid_shape
         self.faults = faults
         self.events_path = Path(events_path) if events_path is not None else None
+        self.archive_path = (
+            Path(archive_path) if archive_path is not None else None
+        )
         if crash_report_path is None:
             anchor = self.events_path or (
                 Path(journal_path) if journal_path is not None else None
@@ -643,6 +656,33 @@ class RobustTuningSession:
         stream and through the flight recorder, whose ring is dumped to
         ``crash_report_path`` should any error escape this method.
         """
+        if self.archive_path is None:
+            return self._run_streams(
+                build, archive=None, method=method, space=space, beta=beta,
+                budget=budget, seed=seed,
+            )
+        archive = TrialArchive(self.archive_path, session=self.session_key)
+        try:
+            with archive_stream(archive):
+                return self._run_streams(
+                    build, archive=archive, method=method, space=space,
+                    beta=beta, budget=budget, seed=seed,
+                )
+        finally:
+            archive.close()
+
+    def _run_streams(
+        self,
+        build: Callable[[BlockConfig], "KernelPlan"],
+        *,
+        archive: TrialArchive | None,
+        method: str,
+        space: "ParameterSpace | None",
+        beta: float,
+        budget: int,
+        seed: int,
+    ) -> SessionResult:
+        """Event-sink wiring around the ladder (see :meth:`run`)."""
         sinks: list[EventSink] = []
         outer = current_sink()
         if outer is not None:
@@ -663,6 +703,8 @@ class RobustTuningSession:
                 emit_event(
                     "session.start", session=self.session_key, method=method
                 )
+                if archive is not None:
+                    emit_event("archive.start", session=self.session_key)
                 try:
                     session_result = self._run_ladder(
                         build, method=method, space=space, beta=beta,
@@ -681,6 +723,10 @@ class RobustTuningSession:
                             session=self.session_key,
                         )
                     raise
+                if archive is not None:
+                    emit_event(
+                        "archive.finished", records=archive.records_written
+                    )
                 emit_event(
                     "session.finished",
                     method=session_result.method,

@@ -30,7 +30,7 @@ from repro.tuning.evaluator import (
     SimTrialEvaluator,
     TrialEvaluator,
     TrialOutcome,
-    emit_trial_events,
+    record_trial,
 )
 from repro.tuning.exhaustive import feasible_configs
 from repro.tuning.result import TuneEntry, TuneResult
@@ -108,6 +108,7 @@ def stochastic_tune(
     evaluator = evaluator or SimTrialEvaluator(device, prefilter=prefilter)
 
     measured: dict[BlockConfig, float] = {}
+    trial_info: dict[BlockConfig, dict[str, Any]] = {}
     stats = {"rejected_static": 0, "rejected_simulated": 0}
 
     tracer = current_tracer()
@@ -124,16 +125,21 @@ def stochastic_tune(
             if evaluator.statically_rejected(block):
                 stats["rejected_static"] += 1
                 rate = 0.0
-                emit_trial_events(
-                    TrialOutcome(config=cfg, status=STATUS_REJECTED_STATIC)
+                record_trial(
+                    TrialOutcome(config=cfg, status=STATUS_REJECTED_STATIC),
+                    build=build, device=device, grid_shape=grid_shape,
                 )
                 if sp is not None:
                     sp.args["rejected"] = "static"
                     tracer.metrics.counter("tune.rejected_static").inc()
             else:
                 outcome = evaluator.measure(cfg, plan, grid_shape, block)
-                emit_trial_events(outcome)
+                record_trial(
+                    outcome, build=build, device=device, grid_shape=grid_shape
+                )
                 rate = outcome.mpoints_per_s if outcome.measured else 0.0
+                if outcome.measured:
+                    trial_info[cfg] = dict(outcome.info)
                 if outcome.status == STATUS_REJECTED_SIMULATED:
                     stats["rejected_simulated"] += 1
                     if sp is not None:
@@ -200,9 +206,17 @@ def stochastic_tune(
             run_span.args.update(evaluated=len(measured), **stats)
     emit_event("sweep.finished", method="stochastic", evaluated=len(measured))
 
+    # Diagnostics ride along without touching the walk: the sort key is
+    # the measured rate alone, exactly as before, so the ranking (and the
+    # winner) is unchanged by the info payload.
     entries = tuple(
         sorted(
-            (TuneEntry(config=c, mpoints_per_s=r) for c, r in measured.items()),
+            (
+                TuneEntry(
+                    config=c, mpoints_per_s=r, info=trial_info.get(c, {})
+                )
+                for c, r in measured.items()
+            ),
             key=lambda e: e.mpoints_per_s,
             reverse=True,
         )

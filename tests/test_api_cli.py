@@ -149,3 +149,81 @@ class TestCliExtensions:
         assert "simulated device timeline" in out
         assert "reconciles" in out
         assert "hot planes" in out
+
+
+class TestCliExplain:
+    """`repro tune --archive/--json` and the `repro explain` command."""
+
+    TUNE = [
+        "-q", "tune", "--kernel", "inplane_fullslice", "--order", "2",
+        "--device", "gtx580", "--grid", "64,64,32", "--method", "model",
+    ]
+
+    def test_tune_json_ships_predicted_and_info_per_entry(self, capsys):
+        import json
+
+        assert main(self.TUNE + ["--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["method"] == "model"
+        assert obj["entries"], "ranked entries must be present"
+        for entry in obj["entries"]:
+            assert entry["predicted"] is not None
+            assert "occupancy" in entry["info"]
+            assert "load_efficiency" in entry["info"]
+        assert obj["best"] == obj["entries"][0]
+
+    def test_tune_archive_then_explain(self, tmp_path, capsys):
+        archive = str(tmp_path / "a.jsonl")
+        assert main(self.TUNE + ["--archive", archive]) == 0
+        capsys.readouterr()
+        assert main(["-q", "explain", "--archive", archive]) == 0
+        out = capsys.readouterr().out
+        assert "archived trial(s)" in out
+        assert "calibration" in out
+
+    def test_explain_json_with_landscape_and_metrics(self, tmp_path, capsys):
+        import json
+
+        archive = str(tmp_path / "a.jsonl")
+        land = tmp_path / "land"
+        metrics = tmp_path / "calib.prom"
+        assert main(self.TUNE + ["--archive", archive]) == 0
+        capsys.readouterr()
+        code = main([
+            "-q", "explain", "--archive", archive, "--json",
+            "--landscape-out", str(land), "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["measured"] >= 1
+        assert set(obj["calibration"]) == {"model", "estimate"}
+        assert (land / "landscape.csv").exists()
+        specs = list(land.glob("*.vl.json"))
+        assert specs
+        for spec in specs:
+            json.loads(spec.read_text())
+        from repro.obs.export import lint_prometheus
+
+        assert lint_prometheus(metrics.read_text()) == []
+
+    def test_explain_unusable_archive_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["-q", "explain", "--archive", missing]) == 2
+        garbage = tmp_path / "bad.jsonl"
+        garbage.write_text("not a header\n")
+        assert main(["-q", "explain", "--archive", str(garbage)]) == 2
+
+    def test_robust_tune_json_carries_session_and_stats(self, tmp_path, capsys):
+        import json
+
+        journal = str(tmp_path / "j.jsonl")
+        code = main([
+            "-q", "tune", "--kernel", "inplane_fullslice", "--order", "2",
+            "--device", "gtx580", "--grid", "64,64,32", "--method", "auto",
+            "--journal", journal, "--json",
+        ])
+        assert code == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert "session" in obj and obj["session"].startswith("inplane")
+        assert "stats" in obj
+        assert obj["entries"]

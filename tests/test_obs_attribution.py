@@ -140,3 +140,135 @@ class TestSummaryIntegration:
         rep = attribute(report)
         assert f"limiter: {rep.primary.name}" in text
         assert f"limited by {report.counters.occupancy_limiter}" in text
+
+
+def _counterset(**overrides):
+    """A schema-complete CounterSet with chosen values overridden."""
+    from repro.obs.counters import COUNTER_KEYS, CounterSet
+
+    values = {k: 0.0 for k in COUNTER_KEYS}
+    values.update(
+        stall_mem_frac=0.4, stall_compute_frac=0.3, stall_latency_frac=0.2,
+        stall_sync_frac=0.06, stall_sched_frac=0.04,
+        achieved_occupancy=0.5, ipc=1.0, gld_efficiency=1.0,
+        gst_efficiency=1.0, dram_bw_fraction=0.5,
+    )
+    values.update(overrides)
+    return CounterSet(values=values, occupancy_limiter="registers")
+
+
+class TestTieBreaking:
+    """Equal stall shares must rank in STALL_KEYS order (stable sort)."""
+
+    def test_all_equal_shares_rank_in_stall_key_order(self):
+        equal = _counterset(**{k: 0.2 for k in STALL_KEYS})
+        limiters = rank_limiters(equal)
+        assert [x.counter for x in limiters] == list(STALL_KEYS)
+        assert limiter_name(equal) == LIMITER_NAMES[STALL_KEYS[0]]
+
+    def test_partial_tie_keeps_stall_key_order_within_the_tie(self):
+        c = _counterset(
+            stall_mem_frac=0.2, stall_compute_frac=0.3,
+            stall_latency_frac=0.3, stall_sync_frac=0.1,
+            stall_sched_frac=0.1,
+        )
+        ranked = [x.counter for x in rank_limiters(c)]
+        # compute and latency tie at 0.3: compute first (STALL_KEYS order);
+        # sync and sched tie at 0.1: sync first.
+        assert ranked == [
+            "stall_compute_frac", "stall_latency_frac", "stall_mem_frac",
+            "stall_sync_frac", "stall_sched_frac",
+        ]
+
+    def test_rank_is_deterministic_across_calls(self):
+        c = _counterset(**{k: 0.2 for k in STALL_KEYS})
+        assert rank_limiters(c) == rank_limiters(c)
+
+
+class TestDifferential:
+    """Winner-vs-runner-up counter attribution (the `repro explain` core)."""
+
+    def winner(self):
+        return {"gld_transactions": 690.0, "achieved_occupancy": 0.48,
+                "ipc": 1.2}
+
+    def runner_up(self):
+        return {"gld_transactions": 1000.0, "achieved_occupancy": 0.50,
+                "ipc": 1.2}
+
+    def diff(self, **kwargs):
+        from repro.obs.attribution import differential
+
+        defaults = dict(
+            winner_label="W", runner_up_label="R",
+            winner_rate=150.0, runner_up_rate=100.0,
+        )
+        defaults.update(kwargs)
+        return differential(self.winner(), self.runner_up(), **defaults)
+
+    def test_headline_names_the_trade(self):
+        rep = self.diff()
+        assert rep.speedup == pytest.approx(1.5)
+        assert rep.headline == (
+            "winner trades 4% lower achieved occupancy "
+            "for 31% fewer gld transactions"
+        )
+
+    def test_deltas_rank_by_absolute_relative_change(self):
+        rels = [abs(d.rel) for d in self.diff().deltas]
+        assert rels == sorted(rels, reverse=True)
+
+    def test_delta_ties_break_on_counter_name(self):
+        from repro.obs.attribution import differential
+
+        # Both counters move by exactly -50%: alphabetical order decides.
+        rep = differential(
+            {"b_counter": 1.0, "a_counter": 2.0},
+            {"b_counter": 2.0, "a_counter": 4.0},
+            winner_label="W", runner_up_label="R",
+            winner_rate=2.0, runner_up_rate=1.0,
+        )
+        assert [d.counter for d in rep.deltas] == ["a_counter", "b_counter"]
+
+    def test_zero_baseline_clamps_not_crashes(self):
+        from repro.obs.attribution import differential
+
+        rep = differential(
+            {"local_spill_bytes": 64.0}, {"local_spill_bytes": 0.0},
+            winner_label="W", runner_up_label="R",
+            winner_rate=2.0, runner_up_rate=1.0,
+        )
+        assert rep.deltas[0].rel == 1.0
+        assert not rep.deltas[0].improved
+
+    def test_identical_counters_make_a_noise_headline(self):
+        from repro.obs.attribution import differential
+
+        same = {"ipc": 1.0, "gld_transactions": 10.0}
+        rep = differential(
+            same, dict(same), winner_label="W", runner_up_label="R",
+            winner_rate=1.0, runner_up_rate=1.0,
+        )
+        assert "noise-level" in rep.headline
+
+    def test_render_and_json_round_trip(self):
+        import json
+
+        rep = self.diff()
+        text = rep.render()
+        assert "W vs R (1.50x)" in text
+        assert "gld_transactions" in text
+        obj = json.loads(json.dumps(rep.to_json_obj()))
+        assert obj["winner"] == "W"
+        assert obj["deltas"][0]["improved"] is True
+
+    def test_non_numeric_and_unshared_keys_skipped(self):
+        from repro.obs.attribution import differential
+
+        rep = differential(
+            {"ipc": 1.0, "occupancy_limiter": "registers", "only_w": 1.0},
+            {"ipc": 2.0, "occupancy_limiter": "smem"},
+            winner_label="W", runner_up_label="R",
+            winner_rate=1.0, runner_up_rate=1.0,
+        )
+        assert [d.counter for d in rep.deltas] == ["ipc"]

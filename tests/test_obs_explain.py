@@ -1,0 +1,227 @@
+"""Explain-engine tests: ranking, rank statistics, landscape, calibration."""
+
+import json
+
+import pytest
+
+from repro.obs.archive import ArchiveRecord
+from repro.obs.explain import (
+    calibrate,
+    calibration_registry,
+    dump_landscape,
+    explain,
+    landscape_csv,
+    landscape_specs,
+    measured_ranking,
+    spearman,
+    topk_regret,
+)
+from repro.obs.export import CALIBRATION_GAUGES, lint_prometheus, to_prometheus
+
+
+def record(
+    config,
+    rate,
+    *,
+    status="ok",
+    predicted=None,
+    estimate_rate=None,
+    counters=None,
+):
+    return ArchiveRecord(
+        config=tuple(config),
+        label=str(tuple(config)),
+        status=status,
+        mpoints_per_s=rate,
+        attempts=1,
+        faults=(),
+        replayed=False,
+        predicted=predicted,
+        estimate=(
+            {"mpoints_per_s": estimate_rate}
+            if estimate_rate is not None else None
+        ),
+        estimate_error=None if estimate_rate is not None else "no estimate",
+        counters=counters,
+    )
+
+
+class TestRanking:
+    def test_best_rate_first_rejected_excluded(self):
+        records = [
+            record((16, 2, 1, 1), 100.0),
+            record((32, 2, 1, 1), 300.0),
+            record((64, 2, 1, 1), 0.0, status="rejected_static"),
+            record((16, 4, 1, 1), 200.0),
+        ]
+        ranking = measured_ranking(records)
+        assert [r.mpoints_per_s for r in ranking] == [300.0, 200.0, 100.0]
+
+    def test_rate_ties_break_on_config_tuple(self):
+        records = [
+            record((32, 4, 1, 1), 100.0),
+            record((16, 2, 1, 1), 100.0),
+        ]
+        assert [r.config for r in measured_ranking(records)] == [
+            (16, 2, 1, 1), (32, 4, 1, 1),
+        ]
+
+
+class TestSpearman:
+    def test_perfect_monotone_agreement(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_inversion(self):
+        assert spearman([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_ties_use_average_ranks(self):
+        # Hand-computed: x ranks (1, 2.5, 2.5, 4), y ranks (1, 2, 3, 4)
+        # → rho = cov / sqrt(vx * vy) ≈ 0.9487.
+        rho = spearman([1, 2, 2, 3], [1, 2, 3, 4])
+        assert rho == pytest.approx(0.948683, abs=1e-5)
+
+    def test_undefined_cases_return_none(self):
+        assert spearman([], []) is None
+        assert spearman([1.0], [2.0]) is None
+        assert spearman([5, 5, 5], [1, 2, 3]) is None
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            spearman([1, 2], [1])
+
+
+class TestTopkRegret:
+    def test_zero_when_winner_in_topk(self):
+        pairs = [(10.0, 100.0), (9.0, 90.0), (8.0, 80.0)]
+        assert topk_regret(pairs, 1) == 0.0
+
+    def test_regret_fraction_when_model_misses_winner(self):
+        # Model's top-1 is the 80-rate config; true best is 100.
+        pairs = [(10.0, 80.0), (5.0, 100.0)]
+        assert topk_regret(pairs, 1) == pytest.approx(0.2)
+        assert topk_regret(pairs, 2) == 0.0
+
+    def test_undefined_cases(self):
+        assert topk_regret([], 3) is None
+        assert topk_regret([(1.0, 0.0)], 3) is None
+        assert topk_regret([(1.0, 2.0)], 0) is None
+
+
+class TestCalibration:
+    def test_both_models_scored_separately(self):
+        records = [
+            record((16, 2, 1, 1), 100.0, predicted=90.0, estimate_rate=110.0),
+            record((32, 2, 1, 1), 200.0, predicted=180.0, estimate_rate=190.0),
+            record((64, 2, 1, 1), 300.0, predicted=310.0, estimate_rate=290.0),
+        ]
+        cal = calibrate(records, k=1)
+        assert cal["model"]["n"] == 3
+        assert cal["model"]["spearman"] == pytest.approx(1.0)
+        assert cal["model"]["topk_regret"] == 0.0
+        assert cal["estimate"]["spearman"] == pytest.approx(1.0)
+
+    def test_records_without_scores_drop_out(self):
+        records = [
+            record((16, 2, 1, 1), 100.0, predicted=90.0),
+            record((32, 2, 1, 1), 200.0),
+        ]
+        cal = calibrate(records)
+        assert cal["model"]["n"] == 1
+        assert cal["estimate"]["n"] == 0
+        assert cal["estimate"]["spearman"] is None
+
+    def test_registry_uses_known_gauges_and_lints(self):
+        records = [
+            record((16, 2, 1, 1), 100.0, predicted=90.0, estimate_rate=110.0),
+            record((32, 2, 1, 1), 200.0, predicted=180.0, estimate_rate=190.0),
+        ]
+        reg = calibration_registry(calibrate(records))
+        assert set(reg.gauges) == set(CALIBRATION_GAUGES)
+        assert lint_prometheus(to_prometheus(reg.snapshot())) == []
+
+    def test_undefined_stats_set_no_gauge(self):
+        reg = calibration_registry(calibrate([]))
+        assert reg.gauges == {}
+
+
+class TestLandscape:
+    def records(self):
+        return [
+            record((16, 2, 1, 1), 100.0, predicted=90.0),
+            record((32, 2, 1, 1), 200.0),
+            record((16, 2, 2, 1), 150.0),
+            record((64, 2, 1, 1), 0.0, status="rejected_static"),
+        ]
+
+    def test_csv_one_row_per_record(self):
+        import csv
+        import io
+
+        text = landscape_csv(self.records())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][:4] == ["tx", "ty", "rx", "ry"]
+        assert len(rows) == 5
+        assert rows[4][5] == "rejected_static"
+        assert rows[4][6] == ""  # no rate for rejected configs
+        assert rows[1][6] == repr(100.0)
+
+    def test_one_spec_per_rxry_slice_measured_only(self):
+        specs = landscape_specs(self.records())
+        assert set(specs) == {"landscape_rx1_ry1", "landscape_rx2_ry1"}
+        values = specs["landscape_rx1_ry1"]["data"]["values"]
+        assert values == [
+            {"tx": 16, "ty": 2, "mpoints_per_s": 100.0},
+            {"tx": 32, "ty": 2, "mpoints_per_s": 200.0},
+        ]
+        assert specs["landscape_rx1_ry1"]["mark"] == "rect"
+
+    def test_dump_writes_parseable_files(self, tmp_path):
+        names = dump_landscape(self.records(), str(tmp_path / "out"))
+        assert "landscape.csv" in names
+        for name in names:
+            if name.endswith(".vl.json"):
+                spec = json.loads((tmp_path / "out" / name).read_text())
+                assert spec["$schema"].endswith("vega-lite/v5.json")
+
+    def test_dump_is_byte_stable(self, tmp_path):
+        dump_landscape(self.records(), str(tmp_path / "a"))
+        dump_landscape(self.records(), str(tmp_path / "b"))
+        for name in ("landscape.csv", "landscape_rx1_ry1.vl.json"):
+            assert (tmp_path / "a" / name).read_bytes() == (
+                tmp_path / "b" / name
+            ).read_bytes()
+
+
+class TestExplainReport:
+    def records(self):
+        c_win = {"gld_transactions": 1000.0, "achieved_occupancy": 0.5}
+        c_run = {"gld_transactions": 2000.0, "achieved_occupancy": 0.6}
+        return [
+            record((16, 2, 1, 1), 300.0, predicted=280.0, counters=c_win),
+            record((32, 2, 1, 1), 200.0, predicted=220.0, counters=c_run),
+            record((64, 2, 1, 1), 0.0, status="rejected_simulated"),
+        ]
+
+    def test_report_ranks_and_attributes(self):
+        report = explain({"session": "s"}, self.records())
+        assert report.total == 3
+        assert report.measured == 2
+        assert report.winner.config == (16, 2, 1, 1)
+        assert report.diff is not None
+        assert report.diff.speedup == pytest.approx(1.5)
+        assert "fewer gld transactions" in report.diff.headline
+        text = report.render()
+        assert "session s" in text
+        assert "#1 (16, 2, 1, 1)" in text
+
+    def test_json_form_is_serializable_and_complete(self):
+        report = explain({}, self.records(), top=2)
+        obj = json.loads(json.dumps(report.to_json_obj()))
+        assert len(obj["ranking"]) == 2
+        assert obj["differential"]["winner"] == "(16, 2, 1, 1)"
+        assert set(obj["calibration"]) == {"model", "estimate"}
+
+    def test_single_measured_record_has_no_differential(self):
+        report = explain({}, self.records()[:1])
+        assert report.diff is None
+        assert "calibration" in report.render()

@@ -33,7 +33,12 @@ Runs, in order:
    against the event catalog with ``python -m repro.obs.events``, the
    exposition and the exporters' own sample output with
    ``python -m repro.obs.export --lint``)
-9. the tier-1 test suite (``pytest tests/``)
+9. the explain smoke test (a seeded storm tune writes an ``--archive``
+   trial archive; it must validate strictly with
+   ``python -m repro.obs.archive``, ``repro explain --json`` over it
+   must emit parseable JSON, and every exported Vega-Lite landscape
+   spec must parse)
+10. the tier-1 test suite (``pytest tests/``)
 
 Static tools that are not installed are reported as *skipped* and do not
 fail the gate — the container bakes in the runtime toolchain but not
@@ -168,6 +173,69 @@ def events_lint(env: dict) -> str:
     return "ok"
 
 
+def explain_smoke(env: dict) -> str:
+    """Archive a storm tune, then drive ``repro explain`` off it.
+
+    The fixture is one seeded storm tune with ``--archive``; the archive
+    must validate strictly against the schema
+    (``python -m repro.obs.archive``), ``repro explain --json`` over it
+    must parse as JSON, and every emitted Vega-Lite landscape spec must
+    parse as JSON too.
+    """
+    import json
+    import tempfile
+
+    label = "explain-smoke"
+    with tempfile.TemporaryDirectory() as tmp:
+        archive = str(Path(tmp) / "gate.archive")
+        land = str(Path(tmp) / "landscape")
+        steps = [
+            ("tune", [
+                sys.executable, "-m", "repro.cli", "-q", "tune",
+                "--kernel", "inplane_fullslice", "--order", "2",
+                "--device", "gtx580", "--grid", "64,64,32",
+                "--method", "auto",
+                "--faults", "seed=7,launch=0.1,hang=0.02,throttle=0.05",
+                "--archive", archive,
+            ]),
+            ("validate", [sys.executable, "-m", "repro.obs.archive", archive]),
+            ("explain", [
+                sys.executable, "-m", "repro.cli", "-q", "explain",
+                "--archive", archive, "--json", "--landscape-out", land,
+            ]),
+        ]
+        for phase, cmd in steps:
+            print(f"[check] {label}/{phase}: {' '.join(cmd)}")
+            proc = subprocess.run(cmd, cwd=REPO, env=env, capture_output=True)
+            if proc.returncode != 0:
+                sys.stdout.buffer.write(proc.stdout)
+                sys.stderr.buffer.write(proc.stderr)
+                print(f"[check] {label}: FAILED ({phase} exited "
+                      f"{proc.returncode})")
+                return "FAILED"
+            if phase == "explain":
+                explain_stdout = proc.stdout
+        try:
+            json.loads(explain_stdout)
+        except json.JSONDecodeError as exc:
+            print(f"[check] {label}: FAILED (explain --json unparseable: "
+                  f"{exc})")
+            return "FAILED"
+        specs = sorted(Path(land).glob("*.vl.json"))
+        if not specs:
+            print(f"[check] {label}: FAILED (no Vega-Lite specs emitted)")
+            return "FAILED"
+        for spec in specs:
+            try:
+                json.loads(spec.read_text())
+            except json.JSONDecodeError as exc:
+                print(f"[check] {label}: FAILED (bad Vega-Lite spec "
+                      f"{spec.name}: {exc})")
+                return "FAILED"
+    print(f"[check] {label}: ok ({len(specs)} landscape spec(s))")
+    return "ok"
+
+
 def main() -> int:
     import os
 
@@ -199,6 +267,7 @@ def main() -> int:
         "fault-smoke": fault_smoke(env),
         "parallel-smoke": parallel_smoke(env),
         "events-lint": events_lint(env),
+        "explain-smoke": explain_smoke(env),
         "estimate-reconcile": run(
             "estimate-reconcile",
             [
