@@ -25,6 +25,10 @@ Usage::
     repro codegen --kernel inplane_fullslice --order 4 --block 32,4,1,4 \
                   [--out kernel.cu] [--driver]
     repro scaling --gpus 1,2,4,8 [--weak] [--order 2] [--device gtx580]
+    repro cluster run --gpus 4 --steps 8 \
+                      [--faults 'seed=7,corrupt=0.2,dropout=0.05'] \
+                      [--checkpoint grid.ckpt --every 2] [--resume] \
+                      [--events cluster.events] [--json]
     repro lint --kernel inplane_fullslice --order 4 --block 32,4,1,4 \
                [--device gtx580] [--grid 512,512,256] [--json] \
                [--suppress RULE] [--tile-stride SX,SY]
@@ -56,6 +60,15 @@ live (or ``--json`` for scripts; exit 1 when the watched session
 crashed).  ``--metrics-out`` on ``tune`` and ``profile`` exports the
 run's metrics registry in Prometheus text exposition (``.prom`` /
 ``.txt``) or OTLP-style JSON (:mod:`repro.obs.export`).
+
+``repro cluster run`` steps a fault-tolerant multi-GPU campaign
+(:mod:`repro.cluster.resilient`): deterministic link corruption is
+retried with backoff, dead GPUs are quarantined with the grid
+re-decomposed over survivors, and ``--checkpoint``/``--resume`` make
+the campaign crash-safe (a killed-and-resumed run is bit-identical to
+an uninterrupted one; the printed grid digest is the witness).  Exit
+codes are stable: 0 success, 1 unrecoverable fleet, 2 bad ``--faults``
+spec or unusable checkpoint.
 
 Output conventions: primary and machine-readable results go to stdout
 (``--json`` modes stay pipe-clean); diagnostics ("wrote ...", progress)
@@ -737,6 +750,106 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+# Stable ``repro cluster`` exit codes (documented in docs/CLUSTER.md and
+# pinned by tests/test_cluster_resilient.py): 0 success, 1 unrecoverable
+# fleet (every retry ladder exhausted or too few GPUs survive), 2 bad
+# request (malformed --faults spec, unusable/corrupt checkpoint, bad grid).
+EXIT_CLUSTER_OK = 0
+EXIT_CLUSTER_FLEET = 1
+EXIT_CLUSTER_SPEC = 2
+
+
+def _cmd_cluster_run(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.cluster import (
+        ClusterPolicy,
+        MultiGpuStencil,
+        ResilientClusterStencil,
+    )
+    from repro.errors import (
+        CheckpointError,
+        ClusterError,
+        ConfigurationError,
+        GridShapeError,
+    )
+    from repro.gpusim.faults import ClusterFaultPlan
+
+    try:
+        faults = (
+            ClusterFaultPlan.parse(args.faults) if args.faults else None
+        )
+        policy = ClusterPolicy(
+            max_exchange_retries=args.max_retries,
+            min_gpus=args.min_gpus,
+            seed=faults.seed if faults is not None else 0,
+        )
+        lx, ly, lz = _parse_ints(args.grid, 3)
+    except (ConfigurationError, ValueError, argparse.ArgumentTypeError) as exc:
+        log.error("bad cluster spec: %s", exc)
+        return EXIT_CLUSTER_SPEC
+
+    engine = ResilientClusterStencil(
+        MultiGpuStencil(
+            lambda: make_kernel(
+                args.kernel, symmetric(args.order),
+                BlockConfig(*_parse_ints(args.block)), args.dtype,
+            ),
+            args.device,
+            overlap=args.overlap,
+        ),
+        policy=policy,
+    )
+    # Deterministic initial condition: the grid is a pure function of
+    # --grid-seed and the shape, so two invocations (e.g. a full run and
+    # a kill/resume pair) start from bit-identical state.
+    grid = np.random.default_rng(args.grid_seed).random((lz, ly, lx))
+
+    with _maybe_tracing(args) as tracer, _maybe_events(args):
+        try:
+            result = engine.run_campaign(
+                grid,
+                args.gpus,
+                args.steps,
+                faults=faults,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.every,
+                resume=args.resume,
+            )
+        except ClusterError as exc:
+            log.error("fleet unrecoverable: %s", exc)
+            return EXIT_CLUSTER_FLEET
+        except (CheckpointError, ConfigurationError, GridShapeError) as exc:
+            log.error("cannot run campaign: %s", exc)
+            return EXIT_CLUSTER_SPEC
+    _finish_trace(tracer, args.trace)
+    _finish_metrics(tracer, args.metrics_out)
+
+    if args.json:
+        print(json.dumps({
+            "digest": result.digest(),
+            "steps": result.steps,
+            "resumed_from": result.resumed_from,
+            "alive": list(result.alive),
+            "quarantined": list(result.quarantined),
+            "exchange_retries": result.exchange_retries,
+            "backoff_s": result.backoff_s,
+            "checkpoints_written": result.checkpoints_written,
+            "exchange_time_s": result.exchange_time_s,
+        }, sort_keys=True))
+    else:
+        print(f"cluster: {result.summary()}")
+        for p in result.points:
+            print(
+                f"  fleet {p.gpus:3d}: {p.mpoints_per_s:10.0f} MPt/s  "
+                f"speedup {p.speedup:6.2f}  efficiency {p.efficiency:6.1%}"
+            )
+        print(f"  grid sha256 {result.digest()}")
+    return EXIT_CLUSTER_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -1020,6 +1133,47 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--weak", action="store_true")
     sc.add_argument("--overlap", type=float, default=0.0)
     sc.set_defaults(func=_cmd_scaling)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="fault-tolerant multi-GPU stepping campaigns",
+    )
+    csub = cluster.add_subparsers(dest="cluster_command", required=True)
+    crun = csub.add_parser(
+        "run",
+        help="run a resilient stepping campaign (retry/quarantine/resume)",
+    )
+    crun.add_argument("--kernel", default="inplane_fullslice")
+    crun.add_argument("--order", type=int, default=2)
+    crun.add_argument("--block", default="16,4,1,2")
+    crun.add_argument("--dtype", default="sp", choices=("sp", "dp"))
+    crun.add_argument("--device", default="gtx580")
+    crun.add_argument("--grid", default="32,16,48", help="LX,LY,LZ")
+    crun.add_argument("--grid-seed", type=int, default=20130520,
+                      help="seed of the deterministic initial condition")
+    crun.add_argument("--gpus", type=int, default=4)
+    crun.add_argument("--steps", type=int, default=8)
+    crun.add_argument("--overlap", type=float, default=0.0)
+    crun.add_argument("--faults", metavar="SPEC",
+                      help="cluster fault plan, e.g. "
+                           "'seed=7,corrupt=0.2,dropout=0.05,degrade=0.1'")
+    crun.add_argument("--max-retries", type=int, default=3,
+                      help="halo-exchange retries before the fleet gives up")
+    crun.add_argument("--min-gpus", type=int, default=1,
+                      help="smallest fleet the campaign may shrink to")
+    crun.add_argument("--checkpoint", metavar="PATH",
+                      help="crash-safe grid snapshot file")
+    crun.add_argument("--every", type=int, default=0,
+                      help="checkpoint after every N completed steps")
+    crun.add_argument("--resume", action="store_true",
+                      help="resume from --checkpoint instead of step 0")
+    crun.add_argument("--events", metavar="PATH",
+                      help="stream cluster.* events to this JSONL file")
+    crun.add_argument("--trace", metavar="PATH")
+    crun.add_argument("--metrics-out", metavar="PATH")
+    crun.add_argument("--json", action="store_true",
+                      help="machine-readable result (digest, fleet, retries)")
+    crun.set_defaults(func=_cmd_cluster_run)
     return parser
 
 

@@ -3,33 +3,67 @@
 The paper's introduction motivates stencil optimization with "scal[ing]
 the simulation to larger problem sizes"; the era's standard recipe (see
 e.g. its refs [6], [7]) is slab decomposition along z with per-step halo
-exchange over PCIe.  This package provides both halves:
+exchange over PCIe.  This package provides the pieces:
 
 * :mod:`repro.cluster.decompose` — numerically exact slab split / halo
   exchange / merge, so a multi-GPU sweep provably equals the single-grid
   sweep (property-tested);
 * :mod:`repro.cluster.multigpu` — the cost model: per-slab kernel time
   from the GPU simulator plus PCIe transfer time per interface, giving
-  strong/weak scaling curves with the classic exchange-bound saturation.
+  strong/weak scaling curves with the classic exchange-bound saturation;
+* :mod:`repro.cluster.resilient` — the self-healing stepping engine:
+  exchange-retry with backoff, device quarantine with elastic
+  re-decomposition, and crash-safe checkpoint/resume
+  (:mod:`repro.cluster.checkpoint`), all driven by the deterministic
+  cluster fault plane (:class:`repro.gpusim.faults.ClusterFaultPlan`).
 """
 
+from repro.cluster.checkpoint import (
+    CheckpointState,
+    grid_digest,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.cluster.decompose import (
     Slab,
     exchange_halos,
     merge_slabs,
+    slab_extents,
     split_grid,
     validate_halos,
 )
-from repro.cluster.multigpu import LinkSpec, MultiGpuStencil, PCIE_GEN2_X16, PCIE_P2P
+from repro.cluster.multigpu import (
+    LinkSpec,
+    MultiGpuStencil,
+    PCIE_GEN2_X16,
+    PCIE_P2P,
+    ScalingPoint,
+    exchange_cost_s,
+)
+from repro.cluster.resilient import (
+    ClusterPolicy,
+    ClusterRunResult,
+    ResilientClusterStencil,
+)
 
 __all__ = [
     "Slab",
+    "slab_extents",
     "split_grid",
     "exchange_halos",
     "validate_halos",
     "merge_slabs",
     "LinkSpec",
     "MultiGpuStencil",
+    "ScalingPoint",
+    "exchange_cost_s",
     "PCIE_GEN2_X16",
     "PCIE_P2P",
+    "ClusterPolicy",
+    "ClusterRunResult",
+    "ResilientClusterStencil",
+    "CheckpointState",
+    "grid_digest",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

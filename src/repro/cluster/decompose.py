@@ -57,33 +57,53 @@ class Slab:
         return self.data[self.ghost_lo : stop]
 
 
-def split_grid(grid: np.ndarray, parts: int, radius: int) -> list[Slab]:
-    """Split ``grid`` into ``parts`` z-slabs with ``radius`` ghosts.
+def slab_extents(
+    lz: int, parts: int, radius: int
+) -> list[tuple[int, int, int]]:
+    """Per-slab ``(owned, ghost_lo, ghost_hi)`` plane counts — no arrays.
 
-    Plane counts are balanced to within one; every slab must own at least
-    ``radius`` planes so a single exchange per step suffices.
+    The single source of the decomposition arithmetic: :func:`split_grid`
+    materializes exactly these extents, and the cost model derives the
+    straggler slab's true thickness from them (``owned + ghost_lo +
+    ghost_hi``) instead of approximating it.  Plane counts are balanced
+    to within one (the remainder goes to the *leading* slabs); every
+    slab must own at least ``radius`` planes so a single exchange per
+    step suffices.
     """
-    if grid.ndim != 3:
-        raise GridShapeError(f"expected a 3D grid, got shape {grid.shape}")
     if parts < 1:
         raise GridShapeError(f"parts must be >= 1, got {parts}")
     if radius < 1:
         raise GridShapeError(f"radius must be >= 1, got {radius}")
-    lz = grid.shape[0]
     base, extra = divmod(lz, parts)
     if base < radius:
         raise GridShapeError(
             f"cannot split {lz} planes into {parts} slabs of >= {radius} "
             f"planes each (radius {radius})"
         )
+    return [
+        (
+            base + (1 if i < extra else 0),
+            radius if i > 0 else 0,
+            radius if i < parts - 1 else 0,
+        )
+        for i in range(parts)
+    ]
+
+
+def split_grid(grid: np.ndarray, parts: int, radius: int) -> list[Slab]:
+    """Split ``grid`` into ``parts`` z-slabs with ``radius`` ghosts.
+
+    Plane counts follow :func:`slab_extents`: balanced to within one,
+    every slab owning at least ``radius`` planes.
+    """
+    if grid.ndim != 3:
+        raise GridShapeError(f"expected a 3D grid, got shape {grid.shape}")
+    extents = slab_extents(grid.shape[0], parts, radius)
 
     slabs: list[Slab] = []
     z0 = 0
-    for i in range(parts):
-        owned = base + (1 if i < extra else 0)
+    for i, (owned, ghost_lo, ghost_hi) in enumerate(extents):
         z1 = z0 + owned
-        ghost_lo = radius if i > 0 else 0
-        ghost_hi = radius if i < parts - 1 else 0
         local = grid[z0 - ghost_lo : z1 + ghost_hi].copy()
         slabs.append(
             Slab(

@@ -20,8 +20,13 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.errors import ConfigurationError
-from repro.cluster.decompose import Slab, exchange_halos, merge_slabs, split_grid
+from repro.errors import ConfigurationError, GridShapeError
+from repro.cluster.decompose import (
+    exchange_halos,
+    merge_slabs,
+    slab_extents,
+    split_grid,
+)
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.executor import DeviceExecutor
 from repro.kernels.symmetric import SymmetricKernelPlan
@@ -55,12 +60,52 @@ class LinkSpec:
             self.bandwidth_gbs * 1e9
         )
 
+    def degraded(self, factor: float) -> "LinkSpec":
+        """This link with its bandwidth derated by ``factor`` (>= 1).
+
+        How the cluster fault plane's bandwidth flapping is priced: a
+        degraded step charges ``transfer_time_s`` on the derated link,
+        latency unchanged (flapping throttles the payload rate, not the
+        setup cost).  ``factor == 1.0`` returns ``self`` unchanged.
+        """
+        if factor < 1.0:
+            raise ConfigurationError(f"degrade factor must be >= 1, got {factor}")
+        if factor == 1.0:
+            return self
+        return LinkSpec(
+            name=f"{self.name}/x{factor:.2f}",
+            bandwidth_gbs=self.bandwidth_gbs / factor,
+            latency_us=self.latency_us,
+        )
+
 
 #: PCIe 2.0 x16 through host memory — the 2013-era default path.
 PCIE_GEN2_X16 = LinkSpec(name="pcie2-x16", bandwidth_gbs=6.0, latency_us=10.0)
 
 #: Direct peer-to-peer over a shared PCIe switch.
 PCIE_P2P = LinkSpec(name="pcie2-p2p", bandwidth_gbs=10.0, latency_us=6.0)
+
+
+def exchange_cost_s(
+    link: LinkSpec, *, interfaces: int, bytes_per_interface: float
+) -> float:
+    """Per-step halo-exchange time over ``interfaces`` on ``link``.
+
+    All interfaces transfer concurrently only if links are disjoint;
+    through a shared host path they serialize per neighbour pair on the
+    busiest GPU (2 transfers), which the latency term reflects.  Shared
+    by :meth:`MultiGpuStencil.step_cost` and the resilient engine's
+    per-step (possibly degraded-link) accounting.
+    """
+    if interfaces == 0:
+        return 0.0
+    total = link.transfer_time_s(
+        bytes_per_interface * interfaces, transfers=2 * interfaces
+    )
+    return max(
+        total / interfaces,
+        link.transfer_time_s(bytes_per_interface, transfers=2),
+    )
 
 
 @dataclass(frozen=True)
@@ -92,6 +137,10 @@ class MultiGpuStencil:
         self.device = get_device(device) if isinstance(device, str) else device
         self.link = link
         self.overlap = overlap
+        # Single-GPU step time per grid shape: the speedup baseline every
+        # step_cost() shares, so an N-point scaling curve simulates the
+        # whole grid once instead of N times.
+        self._single_time_cache: dict[tuple[int, int, int], float] = {}
 
     # ------------------------------------------------------------------
     # Numerics
@@ -126,32 +175,57 @@ class MultiGpuStencil:
     # ------------------------------------------------------------------
     # Cost model
     # ------------------------------------------------------------------
+    def _single_step_time(
+        self,
+        executor: DeviceExecutor,
+        plan: SymmetricKernelPlan,
+        grid_shape: tuple[int, int, int],
+    ) -> float:
+        """Memoized single-GPU sweep time of the whole grid (the speedup
+        baseline shared by every point of a scaling curve)."""
+        cached = self._single_time_cache.get(grid_shape)
+        if cached is None:
+            cached = executor.run(plan, grid_shape).time_s
+            self._single_time_cache[grid_shape] = cached
+        return cached
+
     def step_cost(
-        self, grid_shape: tuple[int, int, int], gpus: int
+        self, grid_shape: tuple[int, int, int], gpus: int, *, link: LinkSpec | None = None
     ) -> ScalingPoint:
-        """Per-step time and rate for ``gpus`` slabs of ``grid_shape``."""
+        """Per-step time and rate for ``gpus`` slabs of ``grid_shape``.
+
+        ``link`` overrides the interconnect for this one point — how the
+        resilient engine prices a degraded-bandwidth step without
+        perturbing the nominal model.
+        """
         lx, ly, lz = grid_shape
         plan = self.plan_builder()
         radius = plan.halo_radius()
-        base, extra = divmod(lz, gpus)
-        if base < radius:
+        try:
+            extents = slab_extents(lz, gpus, radius)
+        except GridShapeError as exc:
             raise ConfigurationError(
                 f"{gpus} GPUs leave slabs thinner than the radius {radius}"
-            )
+            ) from exc
         executor = DeviceExecutor(self.device)
+        link = self.link if link is None else link
 
-        # The thickest slab is the straggler every step waits for.
-        thickest = base + (1 if extra else 0)
-        ghosts = (radius if gpus > 1 else 0) * (2 if gpus > 2 else 1)
-        report = executor.run(plan, (lx, ly, thickest + ghosts))
-        kernel_time = report.time_s
+        # The thickest slab is the straggler every step waits for; its
+        # true shape (owned planes plus the ghosts it actually holds)
+        # comes from the decomposition itself — end slabs carry the
+        # remainder planes but only one ghost region.
+        thickest = max(owned + lo + hi for owned, lo, hi in extents)
+        if gpus == 1:
+            kernel_time = self._single_step_time(executor, plan, grid_shape)
+        else:
+            kernel_time = executor.run(plan, (lx, ly, thickest)).time_s
 
         interfaces = gpus - 1
         if interfaces == 0:
             exchange_time = 0.0
         else:
             bytes_per_interface = 2 * radius * lx * ly * plan.elem_bytes
-            total = self.link.transfer_time_s(
+            total = link.transfer_time_s(
                 bytes_per_interface * interfaces, transfers=2 * interfaces
             )
             # All interfaces transfer concurrently only if links are
@@ -160,11 +234,14 @@ class MultiGpuStencil:
             # latency term reflects.
             exchange_time = max(
                 total / interfaces,
-                self.link.transfer_time_s(bytes_per_interface, transfers=2),
+                link.transfer_time_s(bytes_per_interface, transfers=2),
             )
 
         step_time = kernel_time + (1.0 - self.overlap) * exchange_time
-        single = executor.run(plan, grid_shape).time_s if gpus > 1 else step_time
+        single = (
+            self._single_step_time(executor, plan, grid_shape)
+            if gpus > 1 else step_time
+        )
         mpoints = lx * ly * lz / step_time / 1e6
         speedup = single / step_time
         return ScalingPoint(

@@ -129,3 +129,25 @@ class JournalError(ReproError):
     session, a journal whose header line is unreadable, or ``--resume``
     against a path that does not exist.
     """
+
+
+class ClusterError(ReproError):
+    """A multi-GPU campaign cannot continue on the surviving fleet.
+
+    Raised by :class:`repro.cluster.resilient.ResilientClusterStencil`
+    when the recovery ladder is exhausted: every GPU has been
+    quarantined (or fewer than ``min_gpus`` survive), or a halo exchange
+    stayed corrupt through every retry.  Maps to ``repro cluster`` exit
+    code 1 — the fleet, not the request, is at fault.
+    """
+
+
+class CheckpointError(ReproError):
+    """A cluster grid checkpoint cannot be used for resume.
+
+    Examples: resuming from a path that does not exist, a header that is
+    unreadable or names a different campaign session, a payload shorter
+    than the header promises, or a payload whose SHA-256 does not match
+    the header (torn or corrupted write).  Maps to ``repro cluster``
+    exit code 2, alongside bad ``--faults`` specs.
+    """

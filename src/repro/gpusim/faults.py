@@ -288,6 +288,191 @@ class FaultPlan:
         return ",".join(parts)
 
 
+# -- the cluster fault plane -------------------------------------------------
+
+#: Cluster-plane stream names (the ``(seed, stream, entity, step)`` cells).
+STREAM_CLUSTER_LINK = "cluster.link"
+STREAM_CLUSTER_DEGRADE = "cluster.degrade"
+STREAM_CLUSTER_GPU = "cluster.gpu"
+
+
+@dataclass
+class ClusterFaultPlan:
+    """Seeded, deterministic fault schedule for a multi-GPU fleet.
+
+    Where :class:`FaultPlan` models what one simulated device does to one
+    launch, this plan models what a *fleet* does to a stepping campaign
+    (:mod:`repro.cluster.resilient`):
+
+    * **link corruption** — with ``link_corrupt_rate``, the halo planes
+      received over one interface on one step are perturbed (bit flip or
+      NaN, like an ECC event on the transfer path).  Corruption is drawn
+      per ``(link, step, attempt)``: a retried exchange re-draws, so the
+      retry ladder can succeed deterministically.
+    * **link degradation** — with ``link_degrade_rate``, one interface's
+      bandwidth is derated by a factor in ``[degrade_min, degrade_max]``
+      for one step (thermal/PCIe flapping).  Purely a *pricing* fault:
+      it never touches data, only the exchange time the cost model
+      charges through :meth:`repro.cluster.multigpu.LinkSpec.degraded`.
+    * **device dropout** — with ``dropout_rate``, a GPU dies at the start
+      of one step and stays dead (``cudaErrorDevicesUnavailable``); the
+      resilient engine quarantines it and re-decomposes the grid over
+      the survivors.
+
+    Every draw is a pure function of ``(seed, stream, entity, step)``
+    (plus the attempt for corruption) — no mutable counters, so a
+    campaign resumed from a checkpoint at step *k* replays steps
+    *k+1..N* with the identical schedule an uninterrupted run saw.  All
+    rates zero (or no plan installed) means zero perturbation.
+    """
+
+    seed: int = 0
+    link_corrupt_rate: float = 0.0
+    link_degrade_rate: float = 0.0
+    dropout_rate: float = 0.0
+    degrade_min: float = 2.0
+    degrade_max: float = 8.0
+    corrupt_mode: str = "flip"
+
+    def __post_init__(self) -> None:
+        rates = (self.link_corrupt_rate, self.link_degrade_rate, self.dropout_rate)
+        if any(not 0.0 <= r <= 1.0 for r in rates):
+            raise ConfigurationError(
+                "cluster fault rates must be probabilities in [0, 1], got "
+                f"corrupt={rates[0]}, degrade={rates[1]}, dropout={rates[2]}"
+            )
+        if not 1.0 <= self.degrade_min <= self.degrade_max:
+            raise ConfigurationError(
+                f"degrade factors must satisfy 1 <= min <= max, got "
+                f"[{self.degrade_min}, {self.degrade_max}]"
+            )
+        if self.corrupt_mode not in ("flip", "nan"):
+            raise ConfigurationError(
+                f"corrupt_mode must be 'flip' or 'nan', got {self.corrupt_mode!r}"
+            )
+
+    @property
+    def fault_rate(self) -> float:
+        """Total per-draw probability mass (0 means the plan is inert)."""
+        return self.link_corrupt_rate + self.link_degrade_rate + self.dropout_rate
+
+    # -- determinism core --------------------------------------------------
+
+    def _rng(self, stream: str, *cell: int) -> random.Random:
+        """Process-independent RNG for one ``(seed, stream, *cell)`` draw.
+
+        String seeding keeps the schedule independent of
+        ``PYTHONHASHSEED``, mirroring :meth:`RetryPolicy.delay_s`.
+        """
+        key = ":".join(str(c) for c in cell)
+        return random.Random(f"{self.seed}:{stream}:{key}")
+
+    # -- the three fault families ------------------------------------------
+
+    def gpu_dropout(self, gpu: int, step: int) -> bool:
+        """Does GPU ``gpu`` (original fleet index) die at ``step``?
+
+        Indexed by the GPU's *original* identity, not its current slab
+        position, so re-decomposition never reshuffles the schedule.
+        """
+        if self.dropout_rate == 0.0:
+            return False
+        return self._rng(STREAM_CLUSTER_GPU, gpu, step).random() < self.dropout_rate
+
+    def link_corrupt(self, link: int, step: int, attempt: int = 0) -> bool:
+        """Is the transfer over interface ``link`` corrupt on this attempt?"""
+        if self.link_corrupt_rate == 0.0:
+            return False
+        rng = self._rng(STREAM_CLUSTER_LINK, link, step, attempt)
+        return rng.random() < self.link_corrupt_rate
+
+    def corrupt_ghosts(
+        self, array: np.ndarray, link: int, step: int, attempt: int = 0
+    ) -> bool:
+        """Maybe perturb the received ghost planes ``array`` in place.
+
+        Returns whether corruption fired.  The payload draw is seeded
+        separately from the schedule draw so the *where* of a bit flip
+        cannot perturb the *whether* of later faults.
+        """
+        if not self.link_corrupt(link, step, attempt):
+            return False
+        rng = self._rng(STREAM_CLUSTER_LINK + ".payload", link, step, attempt)
+        if self.corrupt_mode == "nan":
+            flat = array.reshape(-1)
+            flat[rng.randrange(flat.size)] = np.nan
+        else:
+            flip_bit(array, rng)
+        return True
+
+    def link_degrade_factor(self, link: int, step: int) -> float:
+        """Bandwidth derating of interface ``link`` at ``step`` (1.0 = clean).
+
+        Drawn per ``(link, step)`` — flapping, not a permanent derate —
+        and independent of exchange retries, which only re-draw
+        corruption.
+        """
+        if self.link_degrade_rate == 0.0:
+            return 1.0
+        rng = self._rng(STREAM_CLUSTER_DEGRADE, link, step)
+        if rng.random() >= self.link_degrade_rate:
+            return 1.0
+        return rng.uniform(self.degrade_min, self.degrade_max)
+
+    # -- CLI spec ----------------------------------------------------------
+
+    _SPEC_KEYS = {
+        "seed": ("seed", int),
+        "corrupt": ("link_corrupt_rate", float),
+        "degrade": ("link_degrade_rate", float),
+        "dropout": ("dropout_rate", float),
+        "degrade_min": ("degrade_min", float),
+        "degrade_max": ("degrade_max", float),
+        "corrupt_mode": ("corrupt_mode", str),
+    }
+
+    @classmethod
+    def parse(cls, spec: str) -> "ClusterFaultPlan":
+        """Build a plan from a CLI spec like ``"seed=7,dropout=0.05"``.
+
+        Keys: ``seed``, ``corrupt``, ``degrade``, ``dropout`` (rates),
+        ``degrade_min``/``degrade_max``, ``corrupt_mode``.
+        """
+        kwargs: dict[str, Any] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in cls._SPEC_KEYS:
+                known = ", ".join(sorted(cls._SPEC_KEYS))
+                raise ConfigurationError(
+                    f"bad cluster fault spec entry {part!r}; expected "
+                    f"key=value with key in {{{known}}}"
+                )
+            attr, cast = cls._SPEC_KEYS[key]
+            try:
+                kwargs[attr] = cast(value.strip())
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad cluster fault spec value {part!r}: {exc}"
+                ) from exc
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """One-line summary for logs and checkpoint headers."""
+        parts = [f"seed={self.seed}"]
+        for label, rate in (
+            ("corrupt", self.link_corrupt_rate),
+            ("degrade", self.link_degrade_rate),
+            ("dropout", self.dropout_rate),
+        ):
+            if rate:
+                parts.append(f"{label}={rate:g}")
+        return ",".join(parts)
+
+
 def observe_fault(tracer: Any, event: FaultEvent, **args: Any) -> None:
     """Surface one injected fault in the obs layer (instant + counter),
     and re-emit it as a first-class ``fault.injected`` event.

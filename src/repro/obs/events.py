@@ -127,6 +127,21 @@ EVENT_SPECS: tuple[EventSpec, ...] = (
               ("session",)),
     EventSpec("archive.finished", "the trial provenance archive is complete",
               ("records",)),
+    # -- cluster plane (repro.cluster.resilient) ---------------------------
+    EventSpec("cluster.run.start", "a resilient stepping campaign begins",
+              ("session", "gpus", "steps")),
+    EventSpec("cluster.run.finished", "the campaign completed all steps",
+              ("steps", "gpus_alive")),
+    EventSpec("cluster.exchange.retry", "a validated-corrupt halo exchange "
+              "is being retried", ("step", "attempt", "error")),
+    EventSpec("cluster.gpu.quarantined", "a GPU dropped out and left the fleet",
+              ("step", "gpu")),
+    EventSpec("cluster.redecompose", "surviving slabs were re-split over the "
+              "smaller fleet", ("step", "gpus")),
+    EventSpec("cluster.checkpoint.written", "an atomic grid snapshot was "
+              "published", ("step",)),
+    EventSpec("cluster.checkpoint.restored", "a campaign resumed from a "
+              "snapshot", ("step",)),
     # -- engine plane (repro.tuning.parallel; volatile) --------------------
     EventSpec("pool.start", "a worker pool forked",
               ("workers",), volatile=True),

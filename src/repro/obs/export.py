@@ -61,10 +61,18 @@ CALIBRATION_GAUGES: tuple[str, ...] = (
     "estimate.topk_regret",
 )
 
+#: Fleet-health gauges set by the resilient cluster engine
+#: (:mod:`repro.cluster.resilient`): surviving GPU count after
+#: quarantines, and cumulative validated-corrupt exchange retries.
+CLUSTER_GAUGES: tuple[str, ...] = (
+    "cluster.gpus_alive",
+    "cluster.exchange_retries",
+)
+
 #: Every gauge name this repo exports by convention — the one list
 #: ``repro top`` and the golden exposition files key off, so a new gauge
 #: lands here or it does not exist.
-KNOWN_GAUGES: tuple[str, ...] = SERVICE_GAUGES + CALIBRATION_GAUGES
+KNOWN_GAUGES: tuple[str, ...] = SERVICE_GAUGES + CALIBRATION_GAUGES + CLUSTER_GAUGES
 
 #: Prefix every exported sample name carries (the Prometheus "namespace").
 PROM_NAMESPACE = "repro"

@@ -11,6 +11,7 @@ from repro.cluster import (
     MultiGpuStencil,
     exchange_halos,
     merge_slabs,
+    slab_extents,
     split_grid,
 )
 from repro.errors import ConfigurationError, GridShapeError
@@ -64,8 +65,61 @@ class TestDecompose:
             merge_slabs([])
 
 
+class TestSlabExtents:
+    """The decomposition arithmetic both split_grid and the cost model use."""
+
+    def test_matches_split_grid(self, rng):
+        g = rng.random((19, 4, 4))
+        extents = slab_extents(19, 4, 2)
+        slabs = split_grid(g, 4, 2)
+        assert [(s.owned, s.ghost_lo, s.ghost_hi) for s in slabs] == extents
+
+    def test_uneven_remainder_goes_to_leading_slabs(self):
+        # 19 = 5 + 5 + 5 + 4: remainder planes land on the leading slabs.
+        assert [o for o, _, _ in slab_extents(19, 4, 2)] == [5, 5, 5, 4]
+        assert sum(o for o, _, _ in slab_extents(19, 4, 2)) == 19
+
+    def test_slabs_exactly_radius_thick(self):
+        # The boundary case: every slab owns exactly ``radius`` planes.
+        extents = slab_extents(6, 3, 2)
+        assert [o for o, _, _ in extents] == [2, 2, 2]
+        assert extents[0] == (2, 0, 2)
+        assert extents[1] == (2, 2, 2)
+        assert extents[2] == (2, 2, 0)
+
+    def test_more_parts_than_planes_rejected(self):
+        with pytest.raises(GridShapeError):
+            slab_extents(4, 8, 1)
+
+    def test_thinner_than_radius_rejected(self):
+        with pytest.raises(GridShapeError):
+            slab_extents(9, 4, 3)  # base slab of 2 < radius 3
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(GridShapeError):
+            slab_extents(8, 0, 1)
+        with pytest.raises(GridShapeError):
+            slab_extents(8, 2, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        lz=st.integers(4, 96),
+        parts=st.integers(1, 8),
+        radius=st.integers(1, 4),
+    )
+    def test_extents_cover_and_respect_radius(self, lz, parts, radius):
+        if lz // parts < radius:
+            with pytest.raises(GridShapeError):
+                slab_extents(lz, parts, radius)
+            return
+        extents = slab_extents(lz, parts, radius)
+        assert sum(o for o, _, _ in extents) == lz
+        assert all(o >= radius for o, _, _ in extents)
+        assert max(o for o, _, _ in extents) - min(o for o, _, _ in extents) <= 1
+
+
 class TestNumericEquivalence:
-    @pytest.mark.parametrize("gpus", [1, 2, 3, 4])
+    @pytest.mark.parametrize("gpus", [1, 2, 3, 4, 7])
     def test_multi_gpu_equals_single_grid(self, gpus, rng):
         """The core invariant: slab sweeps + exchange == global sweeps."""
         sim = MultiGpuStencil(plan_builder(order=2), "gtx580")
@@ -140,6 +194,49 @@ class TestCostModel:
         sim = MultiGpuStencil(plan_builder(order=8), "gtx580")
         with pytest.raises(ConfigurationError):
             sim.step_cost((64, 64, 16), 8)  # slabs thinner than radius 4
+
+    def test_straggler_uses_true_thickest_slab(self):
+        """The straggler slab's thickness comes from slab_extents, not
+        the old ``owned_max + 2*radius`` approximation.
+
+        lz=19, gpus=3, r=1: owned planes are 7,6,6 but the 7-plane slab
+        is an *end* slab with one ghost region (8 planes); the true
+        straggler is a middle slab at 6+1+1=8 — the approximation
+        would have priced 7+2=9.
+        """
+        from repro.gpusim.executor import DeviceExecutor
+
+        sim = MultiGpuStencil(plan_builder(), "gtx580")
+        plan = plan_builder()()
+        radius = plan.halo_radius()
+        extents = slab_extents(19, 3, radius)
+        thickest = max(o + lo + hi for o, lo, hi in extents)
+        approx = max(o for o, _, _ in extents) + 2 * radius
+        assert thickest < approx  # the case the old heuristic overpriced
+        point = sim.step_cost((32, 16, 19), 3)
+        executor = DeviceExecutor(sim.device)
+        want = executor.run(plan, (32, 16, thickest)).time_s
+        assert point.kernel_time_s == pytest.approx(want)
+        assert point.kernel_time_s < executor.run(plan, (32, 16, approx)).time_s
+
+    def test_strong_scaling_simulates_baseline_once(self, monkeypatch):
+        """strong_scaling prices the full grid exactly once, not per point."""
+        from repro.gpusim.executor import DeviceExecutor
+
+        shapes = []
+        real_run = DeviceExecutor.run
+
+        def counting_run(self, plan, grid_shape, *args, **kwargs):
+            shapes.append(tuple(grid_shape))
+            return real_run(self, plan, grid_shape, *args, **kwargs)
+
+        monkeypatch.setattr(DeviceExecutor, "run", counting_run)
+        sim = MultiGpuStencil(plan_builder(), "gtx580")
+        full = (64, 64, 32)
+        sim.strong_scaling(full, (1, 2, 4))
+        assert shapes.count(full) == 1
+        # One thick-slab simulation per multi-GPU point, nothing more.
+        assert len(shapes) == 3
 
 
 class TestHaloValidation:

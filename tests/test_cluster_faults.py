@@ -1,0 +1,145 @@
+"""Cluster fault plane: deterministic, seeded, zero-perturbation when off."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.faults import ClusterFaultPlan
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            ClusterFaultPlan(link_corrupt_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ClusterFaultPlan(dropout_rate=-0.1)
+
+    def test_degrade_band_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            ClusterFaultPlan(degrade_min=0.5)
+        with pytest.raises(ConfigurationError):
+            ClusterFaultPlan(degrade_min=4.0, degrade_max=2.0)
+
+    def test_corrupt_mode_is_closed(self):
+        with pytest.raises(ConfigurationError):
+            ClusterFaultPlan(corrupt_mode="scramble")
+
+    def test_fault_rate_sums_families(self):
+        plan = ClusterFaultPlan(
+            link_corrupt_rate=0.1, link_degrade_rate=0.2, dropout_rate=0.3
+        )
+        assert plan.fault_rate == pytest.approx(0.6)
+        assert ClusterFaultPlan().fault_rate == 0.0
+
+
+class TestDeterminism:
+    """Every draw is a pure function of (seed, entity, step[, attempt])."""
+
+    def test_dropout_is_reproducible(self):
+        a = ClusterFaultPlan(seed=7, dropout_rate=0.3)
+        b = ClusterFaultPlan(seed=7, dropout_rate=0.3)
+        draws = [(g, s) for g in range(4) for s in range(32)]
+        assert [a.gpu_dropout(g, s) for g, s in draws] == [
+            b.gpu_dropout(g, s) for g, s in draws
+        ]
+        assert any(a.gpu_dropout(g, s) for g, s in draws)
+
+    def test_seed_changes_the_schedule(self):
+        a = ClusterFaultPlan(seed=1, dropout_rate=0.3)
+        b = ClusterFaultPlan(seed=2, dropout_rate=0.3)
+        draws = [(g, s) for g in range(4) for s in range(64)]
+        assert [a.gpu_dropout(g, s) for g, s in draws] != [
+            b.gpu_dropout(g, s) for g, s in draws
+        ]
+
+    def test_zero_rates_never_fire(self):
+        plan = ClusterFaultPlan(seed=3)
+        for step in range(16):
+            assert not plan.gpu_dropout(0, step)
+            assert not plan.link_corrupt(0, step)
+            assert plan.link_degrade_factor(0, step) == 1.0
+            arr = np.ones((2, 3, 3))
+            assert not plan.corrupt_ghosts(arr, 0, step)
+            assert np.array_equal(arr, np.ones((2, 3, 3)))
+
+    def test_corruption_redraws_per_attempt(self):
+        """A retried exchange re-draws: some corrupt (link, step) clears
+        on a later attempt, which is what lets the retry ladder succeed."""
+        plan = ClusterFaultPlan(seed=5, link_corrupt_rate=0.5)
+        cleared = any(
+            plan.link_corrupt(link, step, attempt=0)
+            and not plan.link_corrupt(link, step, attempt=1)
+            for link in range(3)
+            for step in range(32)
+        )
+        assert cleared
+
+    def test_degrade_ignores_attempts(self):
+        """Degradation prices the step, so it is drawn per (link, step)
+        only — there is no attempt axis to key on."""
+        plan = ClusterFaultPlan(seed=5, link_degrade_rate=0.8)
+        for step in range(8):
+            first = plan.link_degrade_factor(1, step)
+            assert plan.link_degrade_factor(1, step) == first
+
+    def test_degrade_factor_stays_in_band(self):
+        plan = ClusterFaultPlan(
+            seed=9, link_degrade_rate=1.0, degrade_min=2.0, degrade_max=8.0
+        )
+        factors = [plan.link_degrade_factor(0, s) for s in range(64)]
+        assert all(2.0 <= f <= 8.0 for f in factors)
+        assert len(set(factors)) > 1
+
+
+class TestCorruption:
+    def test_flip_mode_changes_bytes(self):
+        plan = ClusterFaultPlan(seed=2, link_corrupt_rate=1.0)
+        arr = np.ones((2, 4, 4), dtype=np.float32)
+        before = arr.tobytes()
+        assert plan.corrupt_ghosts(arr, 0, 0)
+        assert arr.tobytes() != before
+
+    def test_nan_mode_plants_one_nan(self):
+        plan = ClusterFaultPlan(seed=2, link_corrupt_rate=1.0, corrupt_mode="nan")
+        arr = np.ones((2, 4, 4), dtype=np.float32)
+        assert plan.corrupt_ghosts(arr, 0, 0)
+        assert np.isnan(arr).sum() == 1
+
+    def test_payload_draw_is_deterministic(self):
+        a = np.ones((2, 4, 4), dtype=np.float32)
+        b = np.ones((2, 4, 4), dtype=np.float32)
+        ClusterFaultPlan(seed=2, link_corrupt_rate=1.0).corrupt_ghosts(a, 1, 3)
+        ClusterFaultPlan(seed=2, link_corrupt_rate=1.0).corrupt_ghosts(b, 1, 3)
+        assert a.tobytes() == b.tobytes()
+
+
+class TestSpec:
+    def test_parse_roundtrip(self):
+        plan = ClusterFaultPlan.parse(
+            "seed=7,corrupt=0.2,degrade=0.1,dropout=0.05,"
+            "degrade_min=3,degrade_max=5,corrupt_mode=nan"
+        )
+        assert plan.seed == 7
+        assert plan.link_corrupt_rate == 0.2
+        assert plan.link_degrade_rate == 0.1
+        assert plan.dropout_rate == 0.05
+        assert plan.degrade_min == 3.0
+        assert plan.degrade_max == 5.0
+        assert plan.corrupt_mode == "nan"
+
+    def test_parse_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="bogus"):
+            ClusterFaultPlan.parse("bogus=1")
+
+    def test_parse_rejects_malformed_entries(self):
+        with pytest.raises(ConfigurationError):
+            ClusterFaultPlan.parse("corrupt")
+        with pytest.raises(ConfigurationError):
+            ClusterFaultPlan.parse("corrupt=lots")
+
+    def test_describe_names_active_families(self):
+        plan = ClusterFaultPlan(seed=7, dropout_rate=0.05)
+        text = plan.describe()
+        assert "seed=7" in text
+        assert "dropout=0.05" in text
+        assert "corrupt" not in text

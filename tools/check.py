@@ -38,7 +38,12 @@ Runs, in order:
    ``python -m repro.obs.archive``, ``repro explain --json`` over it
    must emit parseable JSON, and every exported Vega-Lite landscape
    spec must parse)
-10. the tier-1 test suite (``pytest tests/``)
+10. the cluster resilience smoke test (``repro cluster run`` under a
+    seeded dropout + corruption + degradation storm with checkpoints,
+    then the same campaign stopped early and ``--resume``\ d: the
+    resumed final-grid digest must be bit-identical to the
+    uninterrupted run's, and the event stream must validate strictly)
+11. the tier-1 test suite (``pytest tests/``)
 
 Static tools that are not installed are reported as *skipped* and do not
 fail the gate — the container bakes in the runtime toolchain but not
@@ -236,6 +241,84 @@ def explain_smoke(env: dict) -> str:
     return "ok"
 
 
+def cluster_smoke(env: dict) -> str:
+    """Storm a resilient cluster campaign; kill/resume must be bit-exact.
+
+    Three campaigns over the same seeded fault plan (dropout + corrupt +
+    degrade) and the same ``--grid-seed`` initial condition:
+
+    * ``full``    — all N steps in one process, with checkpoints;
+    * ``partial`` — the same campaign stopped after k < N steps (the
+      simulated crash: the last thing it leaves behind is its atomic
+      checkpoint);
+    * ``resume``  — ``--resume`` from the partial checkpoint to N steps.
+
+    The resumed final-grid SHA-256 must equal the uninterrupted run's
+    digest, and the event streams must validate strictly against the
+    catalog (``python -m repro.obs.events``).
+    """
+    import json
+    import tempfile
+
+    label = "cluster-smoke"
+    with tempfile.TemporaryDirectory() as tmp:
+        full_ckpt = str(Path(tmp) / "full.ckpt")
+        part_ckpt = str(Path(tmp) / "part.ckpt")
+        events = str(Path(tmp) / "cluster.events")
+        base = [
+            sys.executable, "-m", "repro.cli", "-q", "cluster", "run",
+            "--kernel", "inplane_fullslice", "--order", "2",
+            "--device", "gtx580", "--grid", "24,12,32",
+            "--gpus", "4",
+            "--faults", "seed=11,corrupt=0.3,dropout=0.08,degrade=0.2",
+            "--json",
+        ]
+        runs = (
+            ("full", base + ["--steps", "6", "--checkpoint", full_ckpt,
+                             "--every", "2", "--events", events]),
+            ("partial", base + ["--steps", "3", "--checkpoint", part_ckpt,
+                                "--every", "3"]),
+            ("resume", base + ["--steps", "6", "--checkpoint", part_ckpt,
+                               "--every", "3", "--resume"]),
+        )
+        digests = {}
+        for phase, cmd in runs:
+            print(f"[check] {label}/{phase}: {' '.join(cmd)}")
+            proc = subprocess.run(cmd, cwd=REPO, env=env, capture_output=True)
+            if proc.returncode != 0:
+                sys.stdout.buffer.write(proc.stdout)
+                sys.stderr.buffer.write(proc.stderr)
+                print(f"[check] {label}: FAILED ({phase} exited "
+                      f"{proc.returncode})")
+                return "FAILED"
+            try:
+                digests[phase] = json.loads(proc.stdout)
+            except json.JSONDecodeError as exc:
+                print(f"[check] {label}: FAILED ({phase} --json "
+                      f"unparseable: {exc})")
+                return "FAILED"
+        if digests["resume"]["digest"] != digests["full"]["digest"]:
+            print(f"[check] {label}: FAILED (resumed grid digest "
+                  f"{digests['resume']['digest'][:12]}... != uninterrupted "
+                  f"{digests['full']['digest'][:12]}... — crash-safe "
+                  "bit-identity broken)")
+            return "FAILED"
+        if digests["resume"]["resumed_from"] != 3:
+            print(f"[check] {label}: FAILED (resume replayed from step "
+                  f"{digests['resume']['resumed_from']}, expected 3)")
+            return "FAILED"
+        validate = [sys.executable, "-m", "repro.obs.events", events]
+        print(f"[check] {label}/events: {' '.join(validate)}")
+        proc = subprocess.run(validate, cwd=REPO, env=env, capture_output=True)
+        if proc.returncode != 0:
+            sys.stdout.buffer.write(proc.stdout)
+            sys.stderr.buffer.write(proc.stderr)
+            print(f"[check] {label}: FAILED (event stream invalid)")
+            return "FAILED"
+    print(f"[check] {label}: ok (resume digest matches full run)")
+    return "ok"
+
+
 def main() -> int:
     import os
 
@@ -268,6 +351,7 @@ def main() -> int:
         "parallel-smoke": parallel_smoke(env),
         "events-lint": events_lint(env),
         "explain-smoke": explain_smoke(env),
+        "cluster-smoke": cluster_smoke(env),
         "estimate-reconcile": run(
             "estimate-reconcile",
             [
