@@ -73,6 +73,11 @@ from repro.tuning import (
     model_based_tune,
 )
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tuning.evaluator import TrialEvaluator
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -132,11 +137,17 @@ def autotune(
     dtype: str = "sp",
     method: str = "exhaustive",
     beta: float = 0.05,
+    evaluator: "TrialEvaluator | None" = None,
 ) -> "TuneResult":
     """Tune a kernel family's (TX, TY, RX, RY) on a device.
 
     ``method`` is ``"exhaustive"`` (section IV-C) or ``"model"`` (the
-    section VI beta-cutoff procedure).
+    section VI beta-cutoff procedure).  ``evaluator`` swaps the
+    measurement backend (e.g. a
+    :class:`repro.tuning.vectorized.VectorTrialEvaluator` for the batch
+    simulator core, or a :class:`repro.tuning.parallel.ParallelEvaluator`
+    for a process pool); every backend is bit-identical to the default
+    serial loop, so the winner does not depend on the choice.
     """
     from repro.kernels.factory import make_kernel as _mk
     from repro.stencils.spec import symmetric as _sym
@@ -149,7 +160,9 @@ def autotune(
         return _mk(family, spec, cfg, dtype)
 
     if method == "exhaustive":
-        return exhaustive_tune(build, dev, grid_shape)
+        return exhaustive_tune(build, dev, grid_shape, evaluator=evaluator)
     if method == "model":
-        return model_based_tune(build, dev, grid_shape, beta=beta)
+        return model_based_tune(
+            build, dev, grid_shape, beta=beta, evaluator=evaluator
+        )
     raise TuningError(f"unknown tuning method {method!r}")

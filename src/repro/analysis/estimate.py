@@ -300,13 +300,21 @@ class ReconcileReport:
         }
 
 
-def _reconcile_record(record: Any) -> RecordReconcile:
-    """Compare one record's resimulated counters with the IR estimate."""
-    from repro.gpusim.executor import simulate
+def _reconcile_record(record: Any, report: Any = None) -> RecordReconcile:
+    """Compare one record's resimulated counters with the IR estimate.
+
+    ``report`` lets a caller that already resimulated the record (the
+    batched profile loop) hand in the launch report; it is bit-identical
+    to the scalar resimulation either way, so the exact-field comparison
+    below is unaffected by who produced it.
+    """
     from repro.obs.regress import plan_for_record
 
     plan = plan_for_record(record)
-    report = simulate(plan, record.device, record.grid)
+    if report is None:
+        from repro.gpusim.executor import simulate
+
+        report = simulate(plan, record.device, record.grid)
     est = estimate_plan(plan, record.device, record.grid)
 
     mismatches: list[FieldMismatch] = []
@@ -328,6 +336,42 @@ def _reconcile_record(record: Any) -> RecordReconcile:
     return RecordReconcile(
         kernel=record.kernel, device=record.device, mismatches=tuple(mismatches)
     )
+
+
+def _batch_simulate(records: list[Any]) -> list[Any]:
+    """Resimulate profile records through the batch engine, per device.
+
+    Returns one ``SimReport`` or ``Exception`` per record, in input
+    order.  A record whose plan cannot be rebuilt carries that exception
+    in its slot so the caller reports it exactly as the scalar loop did.
+    """
+    from repro.gpusim.batch import BatchEngine, batch_reports
+    from repro.obs.regress import plan_for_record
+
+    slots: list[Any] = [None] * len(records)
+    by_device: dict[str, list[tuple[int, Any, Any]]] = {}
+    for idx, record in enumerate(records):
+        try:
+            plan = plan_for_record(record)
+        except Exception as exc:  # noqa: BLE001 - becomes the slot's error
+            slots[idx] = exc
+            continue
+        by_device.setdefault(record.device, []).append((idx, record, plan))
+    for device, group in by_device.items():
+        try:
+            engine = BatchEngine(get_device(device))
+        except Exception as exc:  # noqa: BLE001 - e.g. unknown device
+            for idx, _record, _plan in group:
+                slots[idx] = exc
+            continue
+        reports = batch_reports(
+            [(plan, record.grid) for _idx, record, plan in group],
+            engine.device,
+            engine=engine,
+        )
+        for (idx, _record, _plan), report in zip(group, reports):
+            slots[idx] = report
+    return slots
 
 
 def _verify_record_sources(records: Iterable[Any]) -> list[str]:
@@ -394,9 +438,15 @@ def reconcile_profile(
             skipped += 1
             continue
         comparable.append(record)
-    for record in comparable:
+    # One batched resimulation pass (grouped per device, block classes
+    # deduplicated) replaces the per-record scalar simulate; the reports
+    # are bit-identical (the batch-identity gate), and any per-record
+    # failure surfaces as the same error string the scalar loop produced.
+    for record, report in zip(comparable, _batch_simulate(comparable)):
         try:
-            outcome = _reconcile_record(record)
+            if isinstance(report, Exception):
+                raise report
+            outcome = _reconcile_record(record, report=report)
         except Exception as exc:  # noqa: BLE001 - reported, not swallowed
             errors.append(f"{record.kernel} on {record.device}: {exc}")
             continue

@@ -288,18 +288,30 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                             build, device, grid, space, evaluator=evaluator
                         )
                 log.info("tuned with %d worker(s)", evaluator.jobs)
-            elif args.method == "model":
-                result = autotune(
-                    args.kernel, args.order, args.device,
-                    grid_shape=grid, dtype=args.dtype,
-                    method="model", beta=args.beta,
-                )
             else:
-                result = tune_family(
-                    args.kernel, args.order, args.device, dtype=args.dtype,
-                    grid=grid,
-                    register_blocking=not args.no_register_blocking,
-                )
+                # Plain in-process runs go through the vectorized batch
+                # simulator core: one NumPy pass over the deduplicated
+                # block classes instead of one scalar pipeline walk per
+                # config.  Bit-identical to the serial loop (the
+                # batch-identity gate in tools/check.py), so the winner
+                # and every tie-break are unchanged.
+                from repro.tuning.vectorized import VectorTrialEvaluator
+
+                evaluator = VectorTrialEvaluator(args.device)
+                if args.method == "model":
+                    result = autotune(
+                        args.kernel, args.order, args.device,
+                        grid_shape=grid, dtype=args.dtype,
+                        method="model", beta=args.beta,
+                        evaluator=evaluator,
+                    )
+                else:
+                    result = tune_family(
+                        args.kernel, args.order, args.device, dtype=args.dtype,
+                        grid=grid,
+                        register_blocking=not args.no_register_blocking,
+                        evaluator=evaluator,
+                    )
         if args.json:
             import json
 

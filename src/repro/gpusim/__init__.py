@@ -25,6 +25,7 @@ from repro.gpusim.faults import FAULT_KINDS, FaultEvent, FaultPlan, flip_bit
 from repro.gpusim.occupancy import OccupancyResult, compute_occupancy
 from repro.gpusim.report import SimReport
 from repro.gpusim.executor import DeviceExecutor, simulate
+from repro.gpusim.batch import BatchEngine, BlockClass, batch_reports
 
 __all__ = [
     "DeviceSpec",
@@ -42,4 +43,7 @@ __all__ = [
     "SimReport",
     "DeviceExecutor",
     "simulate",
+    "BatchEngine",
+    "BlockClass",
+    "batch_reports",
 ]

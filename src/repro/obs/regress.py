@@ -281,7 +281,10 @@ def _diff_records(
 
     Records are independent and the simulator is deterministic, so the
     result is identical at any job count; ``pool.map`` preserves order.
-    Any pool failure degrades to the serial path.
+    Any pool failure degrades to the in-process path, which resimulates
+    through the vectorized batch engine — bit-identical to the scalar
+    resimulation (the ``batch-identity`` gate), one NumPy pass per
+    device instead of one pipeline walk per record.
     """
     jobs = _resolve_jobs(jobs, len(comparable))
     if jobs > 1 and "fork" in multiprocessing.get_all_start_methods():
@@ -293,7 +296,64 @@ def _diff_records(
                 return pool.map(_diff_task, tasks, chunksize=1)
         except Exception as exc:  # noqa: BLE001 - degrade, don't die
             log.warning("worker pool failed (%s); diffing serially", exc)
-    return [diff_record(record, tolerance) for record in comparable]
+    return _diff_records_batched(comparable, tolerance)
+
+
+def _diff_records_batched(
+    comparable: list[TelemetryRecord], tolerance: float
+) -> list[RecordDiff | str]:
+    """The in-process diff: batched resimulation, grouped per device.
+
+    Classification parity with :func:`diff_record` is per record: any
+    stage that the scalar path would catch — plan rebuild, device lookup,
+    workload compilation, an unlaunchable configuration — degrades only
+    that record to its ``"{kernel} on {device}: {exc}"`` error string
+    with the identical message.
+    """
+    from repro.gpusim.batch import BatchEngine, batch_reports
+    from repro.gpusim.device import get_device
+
+    results: list[RecordDiff | str | None] = [None] * len(comparable)
+    by_device: dict[str, list[tuple[int, TelemetryRecord, Any]]] = {}
+    for idx, record in enumerate(comparable):
+        try:
+            plan = plan_for_record(record)
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            results[idx] = f"{record.kernel} on {record.device}: {exc}"
+            continue
+        by_device.setdefault(record.device, []).append((idx, record, plan))
+
+    for device, group in by_device.items():
+        try:
+            engine = BatchEngine(get_device(device))
+        except Exception as exc:  # noqa: BLE001 - e.g. unknown device
+            for idx, record, _plan in group:
+                results[idx] = f"{record.kernel} on {record.device}: {exc}"
+            continue
+        reports = batch_reports(
+            [(plan, record.grid) for _idx, record, plan in group],
+            engine.device, engine=engine,
+        )
+        for (idx, record, _plan), report in zip(group, reports):
+            if isinstance(report, Exception):
+                results[idx] = f"{record.kernel} on {record.device}: {report}"
+                continue
+            try:
+                current = record_from_report(
+                    report, order=record.order, source=record.source
+                )
+            except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+                results[idx] = f"{record.kernel} on {record.device}: {exc}"
+                continue
+            results[idx] = RecordDiff(
+                record=record,
+                baseline_mpoints=record.mpoints_per_s,
+                current_mpoints=current.mpoints_per_s,
+                deltas=_explain_deltas(record, current),
+                tolerance=tolerance,
+            )
+    # Every index was filled by exactly one of the branches above.
+    return results  # type: ignore[return-value]
 
 
 def diff_baseline(

@@ -28,6 +28,7 @@ from repro.tuning.evaluator import (
     batch_capable,
 )
 from repro.tuning.parallel import FamilyKernelBuilder, ParallelEvaluator
+from repro.tuning.vectorized import VectorTrialEvaluator
 from repro.tuning.exhaustive import exhaustive_tune
 from repro.tuning.perfmodel import PaperModel, ModelInputs
 from repro.tuning.modelbased import model_based_tune
@@ -53,6 +54,7 @@ __all__ = [
     "SimTrialEvaluator",
     "ParallelEvaluator",
     "FamilyKernelBuilder",
+    "VectorTrialEvaluator",
     "exhaustive_tune",
     "PaperModel",
     "ModelInputs",

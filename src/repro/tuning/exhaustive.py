@@ -125,6 +125,9 @@ def evaluate_configs(
         stats["rejected_simulated"] = rejected_simulated
         if quarantined:
             stats["quarantined"] = quarantined
+        # One inline worker: keep the stats shape identical to the batch
+        # path so archives/JSON output don't change with the backend.
+        stats["jobs"] = 1
     return entries
 
 

@@ -108,6 +108,9 @@ def model_based_tune(
             entries = _measure_shortlist_serial(
                 build, shortlist, device, grid_shape, ev, stats
             )
+            # One inline worker: stats keep the batch-path shape so
+            # archives/JSON output don't change with the backend.
+            stats["jobs"] = 1
         if run_span is not None:
             run_span.args.update(
                 shortlist=n, evaluated=len(entries), **stats

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.gpusim.arch import WARP_SIZE
 from repro.gpusim.device import DeviceSpec
+from repro.gpusim.timing import TimingParams, params_for
 from repro.kernels.config import BlockConfig
 from repro.kernels.symmetric import SymmetricKernelPlan
 from repro.utils.maths import ceil_div
@@ -67,6 +68,7 @@ class ModelInputs:
         plan: SymmetricKernelPlan,
         device: DeviceSpec,
         grid_shape: tuple[int, int, int],
+        params: TimingParams | None = None,
     ) -> "ModelInputs":
         """Derive model inputs from a kernel plan.
 
@@ -86,10 +88,15 @@ class ModelInputs:
         # The paper reads K_R off the *compiled* kernel, so it is capped at
         # the architectural per-thread limit and the compiler's spill
         # traffic is visible; we mirror that by capping and charging the
-        # spilled registers as extra local-memory bytes per plane.
+        # spilled registers as extra local-memory bytes per plane.  The
+        # per-register byte cost is the simulator's calibration constant —
+        # a recalibration moves the model and the simulator together.
+        params = params or params_for(device)
         cap = device.rules.max_regs_per_thread
         spilled = max(0, workload.regs_per_thread - cap)
-        spill_bytes = spilled * workload.threads_per_block * 16
+        spill_bytes = (
+            spilled * workload.threads_per_block * params.spill_bytes_per_reg
+        )
         return cls(
             lx=lx,
             ly=ly,
@@ -205,10 +212,15 @@ class PaperModel:
         Vectorized Eqns (6)-(14): every elementwise operation mirrors
         :meth:`predict` in the identical order, so the returned float64
         array is **bit-identical** to calling the scalar path per input
-        (pinned by ``tests/test_tuning_parallel.py``) — the model-based
+        (pinned by ``tests/test_tuning_parallel.py`` and the degenerate
+        sweep in ``tests/test_tuning_perfmodel.py``) — the model-based
         tuner's shortlist, and hence its winner, cannot move between the
         two front-ends.  Unlaunchable configurations (no resident block)
-        score 0.0 exactly as the scalar path does.
+        score 0.0 exactly as the scalar path does; their rows are
+        boolean-compressed out *before* any arithmetic, so the scalar
+        semantics need no guarded divisors that could disagree with it
+        (a negative ``k_s`` must floor-divide exactly like ``predict``,
+        not be clamped to "unlimited").
         """
         if not inputs:
             return np.zeros(0, dtype=np.float64)
@@ -224,22 +236,34 @@ class PaperModel:
         bytes_blk = np.array([m.bytes_blk for m in inputs], dtype=np.float64)
         warp_blk = -((-(tx * ty)) // WARP_SIZE)  # ceil_div, floor-div form
 
-        # Eqn (6): blocks per plane.
-        blks = (lx * ly) / ((tx * rx) * (ty * ry))
-
         # Eqn (7): resident blocks per SM (elementwise min over limits).
+        # The smem limit mirrors the scalar truthiness test `if m.k_s`
+        # op for op: only k_s == 0 means "no shared memory"; any other
+        # value — including a (nonsensical, but representable) negative
+        # footprint — floor-divides exactly as `predict` does, which for
+        # k_s < 0 yields a negative limit and hence an unlaunchable row.
         act_blks = np.minimum.reduce([
             dev.registers_per_sm // np.maximum(1, k_r * tx * ty),
             np.where(
-                k_s > 0,
-                dev.smem_per_sm // np.maximum(k_s, 1),
+                k_s != 0,
+                dev.smem_per_sm // np.where(k_s != 0, k_s, 1),
                 dev.max_blocks_per_sm,
             ),
             dev.max_warps_per_sm // warp_blk,
             np.full_like(warp_blk, dev.max_blocks_per_sm),
         ])
-        launchable = act_blks >= 1
-        act = np.maximum(act_blks, 1)  # guarded divisor; masked out below
+
+        out = np.zeros(len(inputs), dtype=np.float64)
+        live = np.flatnonzero(act_blks >= 1)
+        if live.size == 0:
+            return out
+        act = act_blks[live]
+        warp_l = warp_blk[live]
+
+        # Eqn (6): blocks per plane.
+        blks = (lx[live] * ly[live]) / (
+            (tx[live] * rx[live]) * (ty[live] * ry[live])
+        )
 
         # Eqn (8)-(9): full waves and the last wave's per-SM blocks.
         stages = np.ceil(blks / (dev.sm_count * act))
@@ -251,12 +275,12 @@ class PaperModel:
         # Eqn (10)-(11): memory and compute time per block plane.
         bw_sm = dev.measured_bandwidth_gbs * 1e9 / dev.sm_count
         t_lat = dev.dram_latency_cycles / dev.clock_hz
-        t_bw = bytes_blk / bw_sm
-        t_c = (ops * rx * ry * warp_blk) / dev.clock_hz
+        t_bw = bytes_blk[live] / bw_sm
+        t_c = (ops[live] * rx[live] * ry[live] * warp_l) / dev.clock_hz
 
         # Eqns (12)-(13): latency hiding, identical reading to predict().
         def f(arg: np.ndarray, resident: np.ndarray) -> np.ndarray:
-            occ = np.minimum(1.0, resident * warp_blk / dev.max_warps_per_sm)
+            occ = np.minimum(1.0, resident * warp_l / dev.max_warps_per_sm)
             return 1.0 + (arg - 1.0) * (1.0 - occ)
 
         def stage_time(blocks: np.ndarray) -> np.ndarray:
@@ -267,5 +291,5 @@ class PaperModel:
 
         # Eqn (14): points per plane over time per plane.
         per_plane_time = t_s * (stages - 1) + t_l
-        mpoints = (lx * ly) / per_plane_time / 1e6
-        return np.where(launchable, mpoints, 0.0)
+        out[live] = (lx[live] * ly[live]) / per_plane_time / 1e6
+        return out

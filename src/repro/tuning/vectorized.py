@@ -1,0 +1,145 @@
+"""In-process vectorized trial evaluator over the batch simulator core.
+
+:class:`VectorTrialEvaluator` is the third measurement backend next to
+:class:`~repro.tuning.evaluator.SimTrialEvaluator` (one scalar launch
+per call) and :class:`~repro.tuning.parallel.ParallelEvaluator` (process
+pool).  It implements the same
+:class:`~repro.tuning.evaluator.BatchTrialEvaluator` protocol but
+dispatches the whole candidate list to
+:class:`repro.gpusim.batch.BatchEngine` — one NumPy pass over the
+deduplicated block classes instead of N scalar pipeline walks — while
+classifying every outcome exactly as the serial loop would:
+
+* prefilter on + unlaunchable → ``rejected_static`` (the engine's
+  launch check *is* :func:`repro.analysis.resources.launch_failure`);
+* prefilter off + unlaunchable → ``rejected_simulated`` (the scalar
+  evaluator discovers the same :class:`ResourceLimitError` at run time);
+* launchable → ``ok`` with the bit-identical rate and the same
+  ``info`` keys (``load_efficiency`` / ``occupancy`` / ``limiter``).
+
+Because the engine is bit-identical to the scalar path (the
+``batch-identity`` gate in ``tools/check.py``), a tuner over this
+evaluator picks the same winner with the same tie-breaks as the serial
+loop — it is a pure throughput substitution.  Fault schedules and
+watchdog budgets are scalar-executor concerns; resilient/fault-storm
+campaigns keep using the serial or pooled backends.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.analysis.resources import launch_failure
+from repro.gpusim.batch import BatchEngine, BlockClass
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.timing import TimingParams
+from repro.kernels.config import BlockConfig
+from repro.obs.events import suppress_events
+from repro.tuning.evaluator import (
+    STATUS_OK,
+    STATUS_REJECTED_SIMULATED,
+    STATUS_REJECTED_STATIC,
+    TrialOutcome,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpusim.workload import BlockWorkload
+    from repro.kernels.base import KernelPlan
+
+
+class VectorTrialEvaluator:
+    """Batch trial evaluator backed by the vectorized simulator core.
+
+    Parameters
+    ----------
+    device:
+        Device spec or registry name trials run on.
+    prefilter:
+        The tuners' historical flag: with it on, unlaunchable configs are
+        classified ``rejected_static``; with it off, ``rejected_simulated``
+        (the classification the scalar pipeline produces in each mode —
+        the launch-reject set itself is identical either way).
+    params:
+        Optional timing-parameter override, forwarded to the engine.
+    engine:
+        Injectable :class:`~repro.gpusim.batch.BatchEngine`, so repeated
+        sweeps (service workloads, codesign loops) share one per-class
+        memo across evaluator instances.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | str,
+        *,
+        prefilter: bool = True,
+        params: TimingParams | None = None,
+        engine: BatchEngine | None = None,
+    ) -> None:
+        self.device = get_device(device) if isinstance(device, str) else device
+        self.prefilter = prefilter
+        self.engine = engine or BatchEngine(self.device, params)
+        #: Resolved worker count for ``TuneResult.info`` — the batch runs
+        #: in-process, so one job.
+        self.jobs = 1
+
+    # -- TrialEvaluator protocol ------------------------------------------
+
+    def statically_rejected(self, block: "BlockWorkload") -> bool:
+        return self.prefilter and launch_failure(block, self.device) is not None
+
+    def measure(
+        self,
+        cfg: BlockConfig,
+        plan: "KernelPlan",
+        grid_shape: tuple[int, int, int],
+        block: "BlockWorkload",
+    ) -> TrialOutcome:
+        """Measure one config through the engine (sequential entry point)."""
+        grid = plan.grid_workload(self.device, grid_shape)
+        score = self.engine.scores([BlockClass.of(block, grid)])[0]
+        return self._classify(cfg, score, prefiltered=False)
+
+    # -- BatchTrialEvaluator protocol -------------------------------------
+
+    def measure_batch(
+        self,
+        build: Callable[[BlockConfig], "KernelPlan"],
+        configs: list[BlockConfig],
+        grid_shape: tuple[int, int, int],
+    ) -> list[TrialOutcome]:
+        """Measure every configuration; outcomes in input order."""
+        # Plan construction is event-silent like the pooled workers': the
+        # search loop narrates from the returned outcomes in input order.
+        with suppress_events():
+            classes = []
+            for cfg in configs:
+                plan = build(cfg)
+                block = plan.block_workload(self.device, grid_shape)
+                grid = plan.grid_workload(self.device, grid_shape)
+                classes.append(BlockClass.of(block, grid))
+            scores = self.engine.scores(classes)
+        return [
+            self._classify(cfg, score, prefiltered=self.prefilter)
+            for cfg, score in zip(configs, scores)
+        ]
+
+    # -- classification ----------------------------------------------------
+
+    @staticmethod
+    def _classify(cfg, score, *, prefiltered: bool) -> TrialOutcome:
+        if score.launch_error is not None:
+            status = (
+                STATUS_REJECTED_STATIC if prefiltered
+                else STATUS_REJECTED_SIMULATED
+            )
+            return TrialOutcome(config=cfg, status=status)
+        return TrialOutcome(
+            config=cfg,
+            status=STATUS_OK,
+            mpoints_per_s=score.mpoints_per_s,
+            info={
+                "load_efficiency": score.load_efficiency,
+                "occupancy": score.occupancy,
+                "limiter": score.limiter,
+            },
+        )

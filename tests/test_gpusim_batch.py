@@ -1,0 +1,165 @@
+"""Batch-engine tests: bit identity with the scalar pipeline.
+
+The contract under test is the one ``tools/check.py``'s ``batch-identity``
+gate enforces in CI: every quantity the vectorized engine produces —
+occupancy, timing breakdown, the derived counter set, the headline rate —
+is *bit-identical* (``==`` on floats, not ``approx``) to running the
+scalar :func:`repro.gpusim.executor.simulate` per configuration.
+"""
+
+import pytest
+
+from repro.errors import ResourceLimitError
+from repro.gpusim.batch import BatchEngine, BlockClass, batch_reports, check_identity
+from repro.gpusim.executor import simulate
+from repro.kernels.factory import make_kernel
+from repro.stencils.spec import symmetric
+from repro.kernels.config import BlockConfig
+
+GRID = (256, 256, 128)
+
+#: Launchable configs spanning distinct occupancy limiters and smem shapes.
+LIVE_CONFIGS = [(32, 4, 1, 4), (64, 2, 1, 1), (128, 4, 1, 2), (16, 8, 2, 2)]
+#: Configs the scalar executor rejects (register file / shared memory).
+DEAD_CONFIGS = [(64, 16, 2, 2), (64, 8, 4, 8)]
+
+
+def plan_for(cfg, order=2, dtype="sp", family="inplane_fullslice"):
+    return make_kernel(family, symmetric(order), BlockConfig(*cfg), dtype)
+
+
+class TestReportIdentity:
+    def test_reports_bit_identical_to_scalar(self, paper_device):
+        plans = [plan_for(cfg) for cfg in LIVE_CONFIGS]
+        batched = batch_reports([(p, GRID) for p in plans], paper_device)
+        for plan, got in zip(plans, batched):
+            want = simulate(plan, paper_device, GRID)
+            assert not isinstance(got, Exception)
+            assert got.mpoints_per_s == want.mpoints_per_s  # bit-exact
+            assert got.time_s == want.time_s
+            assert got.gflops == want.gflops
+            assert got.bandwidth_gbs == want.bandwidth_gbs
+            assert got.load_efficiency == want.load_efficiency
+            assert got.counters.as_dict() == want.counters.as_dict()
+            assert got.occupancy == want.occupancy
+            assert got.total_cycles == want.total_cycles
+            assert got.stages == want.stages
+            assert got.active_blocks == want.active_blocks
+            assert got.blocks == want.blocks
+            assert got.breakdown == want.breakdown
+            assert got.meta == want.meta
+
+    def test_identity_across_dtypes_and_orders(self, gtx580):
+        plans = [
+            plan_for((32, 4, 1, 4), order=8),
+            plan_for((32, 4, 1, 4), dtype="dp"),
+            plan_for((64, 2, 1, 1), order=12, dtype="dp"),
+        ]
+        batched = batch_reports([(p, GRID) for p in plans], gtx580)
+        for plan, got in zip(plans, batched):
+            want = simulate(plan, gtx580, GRID)
+            assert got.mpoints_per_s == want.mpoints_per_s
+            assert got.counters.as_dict() == want.counters.as_dict()
+
+    def test_profile_identity_gate(self):
+        """The CI gate's own entry point over all trajectory records."""
+        ok, summary = check_identity("BENCH_profile.json")
+        assert ok, summary
+        assert "identical: yes" in summary
+
+
+class TestUnlaunchable:
+    def test_error_messages_match_scalar(self, gtx580):
+        for cfg in DEAD_CONFIGS:
+            plan = plan_for(cfg)
+            with pytest.raises(ResourceLimitError) as err:
+                simulate(plan, gtx580, GRID)
+            (got,) = batch_reports([(plan, GRID)], gtx580)
+            assert isinstance(got, ResourceLimitError)
+            assert str(got) == str(err.value)
+
+    def test_mixed_batch_keeps_input_order(self, gtx580):
+        cfgs = [LIVE_CONFIGS[0], DEAD_CONFIGS[0], LIVE_CONFIGS[1]]
+        plans = [plan_for(c) for c in cfgs]
+        out = batch_reports([(p, GRID) for p in plans], gtx580)
+        assert not isinstance(out[0], Exception)
+        assert isinstance(out[1], ResourceLimitError)
+        assert not isinstance(out[2], Exception)
+        assert out[0].mpoints_per_s == simulate(plans[0], gtx580, GRID).mpoints_per_s
+
+    def test_scores_carry_launch_error(self, gtx580):
+        engine = BatchEngine(gtx580)
+        plan = plan_for(DEAD_CONFIGS[0])
+        block = plan.block_workload(gtx580, GRID)
+        grid = plan.grid_workload(gtx580, GRID)
+        (score,) = engine.scores([BlockClass.of(block, grid)])
+        assert score.launch_error is not None
+        assert "registers" in score.launch_error
+        assert score.mpoints_per_s == 0.0
+
+
+class TestMemoization:
+    def test_duplicate_classes_priced_once(self, gtx580, monkeypatch):
+        engine = BatchEngine(gtx580)
+        plan = plan_for(LIVE_CONFIGS[0])
+        cls = BlockClass.of(
+            plan.block_workload(gtx580, GRID), plan.grid_workload(gtx580, GRID)
+        )
+        calls = []
+        real = BatchEngine._pipeline
+
+        def counting(self, classes):
+            calls.append(len(classes))
+            return real(self, classes)
+
+        monkeypatch.setattr(BatchEngine, "_pipeline", counting)
+        first = engine.scores([cls, cls, cls])
+        assert calls == [1]  # three requests, one distinct class priced
+        again = engine.scores([cls])
+        assert calls == [1]  # cache hit: no second pipeline pass
+        assert first[0] == again[0]
+
+    def test_outcomes_populate_score_cache(self, gtx580, monkeypatch):
+        engine = BatchEngine(gtx580)
+        plan = plan_for(LIVE_CONFIGS[1])
+        cls = BlockClass.of(
+            plan.block_workload(gtx580, GRID), plan.grid_workload(gtx580, GRID)
+        )
+        engine.outcomes([cls])
+        calls = []
+        monkeypatch.setattr(
+            BatchEngine, "_pipeline",
+            lambda self, classes: calls.append(len(classes)),
+        )
+        (score,) = engine.scores([cls])
+        assert calls == []  # full pass already scored it
+        assert score.mpoints_per_s == simulate(plan, gtx580, GRID).mpoints_per_s
+
+    def test_shared_engine_across_report_calls(self, gtx580):
+        engine = BatchEngine(gtx580)
+        plan = plan_for(LIVE_CONFIGS[2])
+        first = batch_reports([(plan, GRID)], gtx580, engine=engine)
+        second = batch_reports([(plan, GRID)], gtx580, engine=engine)
+        assert first[0].counters.as_dict() == second[0].counters.as_dict()
+        assert len(engine._full) == 1
+
+
+class TestBlockClass:
+    def test_same_fingerprint_same_class(self, gtx580):
+        a = plan_for(LIVE_CONFIGS[0])
+        b = plan_for(LIVE_CONFIGS[0])
+        ca = BlockClass.of(a.block_workload(gtx580, GRID), a.grid_workload(gtx580, GRID))
+        cb = BlockClass.of(b.block_workload(gtx580, GRID), b.grid_workload(gtx580, GRID))
+        assert ca == cb
+        assert hash(ca) == hash(cb)
+
+    def test_distinct_workloads_distinct_classes(self, gtx580):
+        def class_of(cfg, order=2):
+            p = plan_for(cfg, order=order)
+            return BlockClass.of(
+                p.block_workload(gtx580, GRID), p.grid_workload(gtx580, GRID)
+            )
+
+        assert class_of((32, 4, 1, 4)) != class_of((64, 2, 1, 1))
+        # Same config, different stencil order: the fingerprint must split.
+        assert class_of((32, 4, 1, 4)) != class_of((32, 4, 1, 4), order=8)

@@ -1,10 +1,15 @@
 """Paper performance-model tests (Eqns (6)-(14))."""
 
+import dataclasses
 import math
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.gpusim.device import get_device
+from repro.gpusim.timing import TimingParams, params_for
 from repro.kernels.config import BlockConfig
 from repro.kernels.factory import make_kernel
 from repro.stencils.spec import symmetric
@@ -122,3 +127,133 @@ class TestModelBehaviour:
         plan = make_kernel("inplane_fullslice", symmetric(2), BlockConfig(32, 4))
         pred = PaperModel(gtx580).predict_plan(plan, GRID)
         assert pred.mpoints_per_s > 0
+
+
+class TestSpillConstantSingleSource:
+    """``ModelInputs.from_plan`` charges spills with the simulator's
+    calibration constant — ``TimingParams.spill_bytes_per_reg`` — not a
+    private copy, so a recalibration moves model and simulator together."""
+
+    def spilling_plan(self):
+        # rx=4, ry=8 at order 8 pushes regs/thread far over the cap.
+        return make_kernel(
+            "inplane_fullslice", symmetric(8), BlockConfig(32, 4, 4, 8)
+        )
+
+    def test_custom_params_rescale_spill_bytes(self, gtx580):
+        plan = self.spilling_plan()
+        workload = plan.block_workload(gtx580, GRID)
+        cap = gtx580.rules.max_regs_per_thread
+        spilled = workload.regs_per_thread - cap
+        assert spilled > 0, "fixture must actually spill"
+        base = ModelInputs.from_plan(plan, gtx580, GRID)
+        default = params_for(gtx580)
+        doubled = ModelInputs.from_plan(
+            plan, gtx580, GRID,
+            params=dataclasses.replace(
+                default, spill_bytes_per_reg=2 * default.spill_bytes_per_reg
+            ),
+        )
+        extra = spilled * workload.threads_per_block * default.spill_bytes_per_reg
+        assert doubled.bytes_blk - base.bytes_blk == extra
+
+    def test_default_matches_simulator_constant(self, gtx580):
+        plan = self.spilling_plan()
+        explicit = ModelInputs.from_plan(
+            plan, gtx580, GRID, params=params_for(gtx580)
+        )
+        assert ModelInputs.from_plan(plan, gtx580, GRID) == explicit
+
+
+class TestPredictBatchIdentity:
+    """``predict_batch`` is bit-identical to ``predict`` per input —
+    including every masked/degenerate row (satellite of the batch core)."""
+
+    def assert_bitwise(self, device, inputs):
+        model = PaperModel(device)
+        got = model.predict_batch(inputs)
+        assert got.dtype == np.float64
+        for i, m in enumerate(inputs):
+            want = model.predict(m).mpoints_per_s
+            assert got[i] == want, (i, m)
+
+    def test_default_space_sweep(self, paper_device):
+        """Every feasible config of the default space, bit for bit."""
+        from repro.tuning.exhaustive import feasible_configs
+
+        build = lambda cfg: make_kernel("inplane_fullslice", symmetric(2), cfg)
+        configs = feasible_configs(build, paper_device, GRID)
+        inputs = [
+            ModelInputs.from_plan(build(cfg), paper_device, GRID)
+            for cfg in configs
+        ]
+        assert len(inputs) > 20  # the sweep must actually cover the space
+        self.assert_bitwise(paper_device, inputs)
+
+    def test_degenerate_rows(self, gtx580):
+        degenerate = [
+            # k_s == 0: "no shared memory" — the truthiness branch.
+            ModelInputs(lx=512, ly=512, tx=32, ty=4, rx=1, ry=4,
+                        k_r=20, k_s=0, ops=8.0, bytes_blk=4096.0),
+            # k_s < 0: nonsensical but representable; must floor-divide
+            # (→ unlaunchable) exactly like the scalar path, not clamp.
+            ModelInputs(lx=512, ly=512, tx=32, ty=4, rx=1, ry=4,
+                        k_r=20, k_s=-512, ops=8.0, bytes_blk=4096.0),
+            # k_r == 0: exercises the max(1, ...) divisor guard (live row
+            # — a zero register footprint never limits occupancy).
+            ModelInputs(lx=512, ly=512, tx=32, ty=4, rx=1, ry=1,
+                        k_r=0, k_s=1024, ops=8.0, bytes_blk=4096.0),
+            # Huge k_r: register file admits no block.
+            ModelInputs(lx=512, ly=512, tx=32, ty=4, rx=1, ry=1,
+                        k_r=10**6, k_s=1024, ops=8.0, bytes_blk=4096.0),
+            # warp_blk > max_warps_per_sm: warp limit admits no block.
+            ModelInputs(lx=4096, ly=4096, tx=2048, ty=1, rx=1, ry=1,
+                        k_r=1, k_s=0, ops=1.0, bytes_blk=64.0),
+            # Giant smem footprint: smem limit admits no block.
+            ModelInputs(lx=512, ly=512, tx=32, ty=4, rx=1, ry=1,
+                        k_r=20, k_s=10**9, ops=8.0, bytes_blk=4096.0),
+        ]
+        scores = PaperModel(gtx580).predict_batch(degenerate)
+        assert scores[0] > 0.0 and scores[2] > 0.0  # the live rows
+        assert list(scores[[1, 3, 4, 5]]) == [0.0] * 4  # the masked rows
+        self.assert_bitwise(gtx580, degenerate)
+
+    def test_empty_input(self, gtx580):
+        out = PaperModel(gtx580).predict_batch([])
+        assert out.shape == (0,) and out.dtype == np.float64
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        tx=st.sampled_from([16, 32, 64, 256, 1024, 2048]),
+        ty=st.integers(min_value=1, max_value=32),
+        rx=st.sampled_from([1, 2, 4]),
+        ry=st.sampled_from([1, 2, 4, 8]),
+        k_r=st.sampled_from([0, 1, 20, 63, 255, 10**5]),
+        k_s=st.sampled_from([-4096, 0, 16, 1024, 49152, 10**8]),
+        ops=st.floats(min_value=0.5, max_value=500.0),
+        bytes_blk=st.floats(min_value=1.0, max_value=1e7),
+        device=st.sampled_from(["gtx580", "gtx680", "c2070"]),
+    )
+    def test_property_batch_equals_scalar(
+        self, tx, ty, rx, ry, k_r, k_s, ops, bytes_blk, device
+    ):
+        m = ModelInputs(
+            lx=512, ly=512, tx=tx, ty=ty, rx=rx, ry=ry,
+            k_r=k_r, k_s=k_s, ops=ops, bytes_blk=bytes_blk,
+        )
+        dev = get_device(device)
+        model = PaperModel(dev)
+        # Mix the probe row with a live row and a dead row so compression
+        # actually reorders/partitions the batch around it.
+        anchor_live = ModelInputs(
+            lx=512, ly=512, tx=32, ty=4, rx=1, ry=4,
+            k_r=20, k_s=1024, ops=8.0, bytes_blk=4096.0,
+        )
+        anchor_dead = ModelInputs(
+            lx=512, ly=512, tx=32, ty=4, rx=1, ry=1,
+            k_r=10**6, k_s=0, ops=8.0, bytes_blk=4096.0,
+        )
+        batch = model.predict_batch([anchor_live, m, anchor_dead])
+        assert batch[0] == model.predict(anchor_live).mpoints_per_s
+        assert batch[1] == model.predict(m).mpoints_per_s
+        assert batch[2] == 0.0

@@ -110,3 +110,77 @@ class TestConstraints:
         all_cands = set(space.candidates())
         feas = set(space.feasible(dev, GRID, smem_of_factory(order=order)))
         assert feas <= all_cands
+
+
+class TestFeasibleEdgeCases:
+    def test_tile_larger_than_grid_excluded(self):
+        """A tile wider/taller than the grid plane never survives (iv)."""
+        dev = get_device("gtx580")
+        space = ParameterSpace(
+            tx_values=(16, 64), ty_values=(2, 64), rx_values=(1,), ry_values=(1,)
+        )
+        feasible = space.feasible(dev, (32, 32, 16), lambda cfg: 0)
+        assert feasible == [BlockConfig(16, 2, 1, 1)]
+        for cfg in feasible:
+            assert cfg.tile_x <= 32 and cfg.tile_y <= 32
+
+    def test_every_tile_too_large_raises(self):
+        dev = get_device("gtx580")
+        space = ParameterSpace(
+            tx_values=(256,), ty_values=(32,), rx_values=(1,), ry_values=(1,)
+        )
+        with pytest.raises(TuningError):
+            space.feasible(dev, (64, 16, 8), lambda cfg: 0)
+
+    def test_smem_probe_error_skips_config(self):
+        """A ReproError from ``smem_bytes_of`` drops the config, silently."""
+        from repro.errors import ReproError
+
+        dev = get_device("gtx580")
+        space = ParameterSpace(
+            tx_values=(16, 32), ty_values=(2,), rx_values=(1,), ry_values=(1,)
+        )
+
+        def smem_of(cfg: BlockConfig) -> int:
+            if cfg.tx == 32:
+                raise ReproError("cannot lay out this block")
+            return 0
+
+        feasible = space.feasible(dev, (64, 64, 32), smem_of)
+        assert feasible == [BlockConfig(16, 2, 1, 1)]
+
+    def test_smem_probe_error_everywhere_raises_tuning_error(self):
+        from repro.errors import ReproError
+
+        dev = get_device("gtx580")
+        space = ParameterSpace(
+            tx_values=(16,), ty_values=(2,), rx_values=(1,), ry_values=(1,)
+        )
+
+        def smem_of(cfg: BlockConfig) -> int:
+            raise ReproError("no layout")
+
+        with pytest.raises(TuningError):
+            space.feasible(dev, (64, 64, 32), smem_of)
+
+    def test_empty_space_error_names_grid_and_device(self):
+        dev = get_device("c2070")
+        space = ParameterSpace(tx_values=(24,))  # violates (i) everywhere
+        with pytest.raises(TuningError) as err:
+            space.feasible(dev, (48, 48, 16), smem_of_factory())
+        assert str(err.value) == (
+            "no feasible configuration for grid (48, 48, 16) on c2070"
+        )
+
+    def test_non_exception_probe_errors_propagate(self):
+        """Only ReproError means 'infeasible'; real bugs must surface."""
+        dev = get_device("gtx580")
+        space = ParameterSpace(
+            tx_values=(16,), ty_values=(2,), rx_values=(1,), ry_values=(1,)
+        )
+
+        def smem_of(cfg: BlockConfig) -> int:
+            raise ValueError("a genuine bug")
+
+        with pytest.raises(ValueError):
+            space.feasible(dev, (64, 64, 32), smem_of)

@@ -22,28 +22,33 @@ Runs, in order:
    ``--jobs 2`` with ``REPRO_JOBS_CAP=2`` so a real worker pool forks
    even on a one-core container: stdout must match byte for byte —
    the determinism contract of ``docs/TUNING.md``)
-7. the estimator-reconciliation gate (``repro estimate --reconcile``:
+7. the batch-identity gate (``python -m repro.gpusim.batch``: every
+   ``BENCH_profile.json`` record is resimulated through the scalar
+   executor and the vectorized batch engine; the two SHA-256 report
+   digests must be equal — the bit-identity contract of
+   ``docs/SIMULATOR.md``)
+8. the estimator-reconciliation gate (``repro estimate --reconcile``:
    every ``BENCH_profile.json`` record's plan is lowered to its
    access-plan IR, the codegen-time estimate is compared bit-for-bit
    against the resimulated hardware counters, and every distinct
    plan's CUDA/OpenCL/HIP sources are re-parsed and verified against
    the IR — any IR↔source or estimator↔counters mismatch fails)
-8. the events/metrics lint (a seeded storm tune writes an ``--events``
+9. the events/metrics lint (a seeded storm tune writes an ``--events``
    stream and a ``--metrics-out`` exposition; the stream is validated
    against the event catalog with ``python -m repro.obs.events``, the
    exposition and the exporters' own sample output with
    ``python -m repro.obs.export --lint``)
-9. the explain smoke test (a seeded storm tune writes an ``--archive``
-   trial archive; it must validate strictly with
-   ``python -m repro.obs.archive``, ``repro explain --json`` over it
-   must emit parseable JSON, and every exported Vega-Lite landscape
-   spec must parse)
-10. the cluster resilience smoke test (``repro cluster run`` under a
+10. the explain smoke test (a seeded storm tune writes an ``--archive``
+    trial archive; it must validate strictly with
+    ``python -m repro.obs.archive``, ``repro explain --json`` over it
+    must emit parseable JSON, and every exported Vega-Lite landscape
+    spec must parse)
+11. the cluster resilience smoke test (``repro cluster run`` under a
     seeded dropout + corruption + degradation storm with checkpoints,
     then the same campaign stopped early and ``--resume``\ d: the
     resumed final-grid digest must be bit-identical to the
     uninterrupted run's, and the event stream must validate strictly)
-11. the tier-1 test suite (``pytest tests/``)
+12. the tier-1 test suite (``pytest tests/``)
 
 Static tools that are not installed are reported as *skipped* and do not
 fail the gate — the container bakes in the runtime toolchain but not
@@ -352,6 +357,15 @@ def main() -> int:
         "events-lint": events_lint(env),
         "explain-smoke": explain_smoke(env),
         "cluster-smoke": cluster_smoke(env),
+        "batch-identity": run(
+            "batch-identity",
+            [
+                sys.executable, "-m", "repro.gpusim.batch",
+                "--baseline", "BENCH_profile.json",
+            ],
+            required=True,
+            env=env,
+        ),
         "estimate-reconcile": run(
             "estimate-reconcile",
             [
